@@ -1,0 +1,29 @@
+//! Prior BTB-based branch predictor attacks (paper §11), used as baselines.
+//!
+//! The attacks preceding BranchScope all exploit the *branch target buffer*:
+//! because the BTB installs an entry only when a branch is taken, the
+//! presence or absence of an entry leaks the branch's direction, and
+//! presence is observable through the front-end fetch-redirect bubble a
+//! taken branch suffers on a BTB miss.
+//!
+//! * [`BtbEvictAttack`] — Aciiçmez-style: the spy installs its own entry in
+//!   the victim's BTB set and detects whether the victim's taken branch
+//!   evicted it;
+//! * [`ShadowingAttack`] — Lee et al. branch shadowing: the spy's shadow
+//!   branch at the colliding address directly observes whether the victim's
+//!   branch left a BTB entry;
+//! * [`compare_attacks`] — runs both baselines and BranchScope against the same
+//!   victim, with and without a BTB-flush defense, reproducing the paper's
+//!   claim that *BranchScope is not affected by defenses against BTB-based
+//!   attacks*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb_evict;
+mod compare;
+mod shadowing;
+
+pub use btb_evict::BtbEvictAttack;
+pub use compare::{compare_attacks, AttackComparison, ComparisonRow};
+pub use shadowing::ShadowingAttack;

@@ -1,0 +1,123 @@
+//! One Criterion benchmark per reproduced figure workload.
+
+use bscope_bench::attack_fixture;
+use bscope_bpu::{MicroarchProfile, Outcome, PhtState};
+use bscope_core::reverse::scan_states;
+use bscope_core::stability::{analyze_stability, StabilityConfig};
+use bscope_core::timing_probe::{
+    collect_latency_samples, detection_error_rate, probe_latency_by_state,
+};
+use bscope_core::{ProbeKind, RandomizationBlock};
+use bscope_os::{AslrPolicy, System};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Fig. 2: one 20-iteration learning run of a 10-bit pattern.
+fn fig2_learning(c: &mut Criterion) {
+    c.bench_function("fig2_pattern_learning_run", |b| {
+        let pattern = [true, false, false, true, true, true, false, true, false, false];
+        b.iter(|| {
+            let mut sys = System::new(MicroarchProfile::skylake(), 1);
+            let pid = sys.spawn("bench", AslrPolicy::Disabled);
+            for _ in 0..20 {
+                for &bit in &pattern {
+                    sys.cpu(pid).branch_at(0x6d, Outcome::from_bool(bit));
+                }
+            }
+            black_box(sys.cpu(pid).counters().branch_misses)
+        });
+    });
+}
+
+/// Fig. 4: characterising one randomization block (reduced reps).
+fn fig4_stability(c: &mut Criterion) {
+    c.bench_function("fig4_block_characterisation", |b| {
+        b.iter(|| {
+            let mut sys = System::new(MicroarchProfile::sandy_bridge(), 2);
+            let spy = sys.spawn("spy", AslrPolicy::Disabled);
+            let cfg = StabilityConfig { blocks: 1, reps: 4, ..StabilityConfig::default() };
+            black_box(analyze_stability(&mut sys, spy, &cfg))
+        });
+    });
+}
+
+/// Fig. 5: scanning and decoding a 272-address range.
+fn fig5_scan(c: &mut Criterion) {
+    c.bench_function("fig5_scan_272_addresses", |b| {
+        let profile = MicroarchProfile::sandy_bridge();
+        let block = RandomizationBlock::for_profile(&profile, 3);
+        b.iter(|| {
+            let mut sys = System::new(profile.clone(), 4);
+            let spy = sys.spawn("spy", AslrPolicy::Disabled);
+            black_box(scan_states(&mut sys, spy, &block, 0x30_0000, 0x110))
+        });
+    });
+}
+
+/// Fig. 7: collecting one labelled latency sample set.
+fn fig7_latency_samples(c: &mut Criterion) {
+    c.bench_function("fig7_1k_latency_samples", |b| {
+        b.iter(|| {
+            let mut sys = System::new(MicroarchProfile::skylake(), 5);
+            let spy = sys.spawn("spy", AslrPolicy::Disabled);
+            black_box(collect_latency_samples(&mut sys, spy, 1_000, true, false))
+        });
+    });
+}
+
+/// Fig. 8: one error-rate point (k=3, 50 trials).
+fn fig8_detection_error(c: &mut Criterion) {
+    c.bench_function("fig8_error_point_k3", |b| {
+        b.iter(|| {
+            let mut sys = System::new(MicroarchProfile::skylake(), 6);
+            let spy = sys.spawn("spy", AslrPolicy::Disabled);
+            black_box(detection_error_rate(&mut sys, spy, 3, 50, false))
+        });
+    });
+}
+
+/// Fig. 9: probe-latency statistics for one state (100 reps).
+fn fig9_probe_latency(c: &mut Criterion) {
+    c.bench_function("fig9_state_latency_100_reps", |b| {
+        b.iter(|| {
+            let mut sys = System::new(MicroarchProfile::haswell(), 7);
+            let spy = sys.spawn("spy", AslrPolicy::Disabled);
+            black_box(probe_latency_by_state(
+                &mut sys,
+                spy,
+                PhtState::StronglyNotTaken,
+                ProbeKind::TakenTaken,
+                100,
+            ))
+        });
+    });
+}
+
+/// Fig. 6 (and the single-bit primitive underneath every figure): one
+/// prime → victim → probe → decode round.
+fn fig6_single_bit(c: &mut Criterion) {
+    c.bench_function("fig6_read_one_bit", |b| {
+        let profile = MicroarchProfile::skylake();
+        let (mut sys, victim, spy, target) = attack_fixture(profile.clone(), 8);
+        let mut attack =
+            bscope_core::BranchScope::new(bscope_core::AttackConfig::for_profile(&profile))
+                .unwrap();
+        b.iter(|| {
+            black_box(attack.read_bit(&mut sys, spy, target, |sys| {
+                sys.cpu(victim).branch_at(0x6d, Outcome::Taken);
+            }))
+        });
+    });
+}
+
+criterion_group!(
+    figures,
+    fig2_learning,
+    fig4_stability,
+    fig5_scan,
+    fig6_single_bit,
+    fig7_latency_samples,
+    fig8_detection_error,
+    fig9_probe_latency,
+);
+criterion_main!(figures);

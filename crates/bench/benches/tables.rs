@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the Table 1/2/3 workloads.
+
+use bscope_bpu::MicroarchProfile;
+use bscope_core::covert::{CovertChannel, EnclaveSender};
+use bscope_core::{table1, AttackConfig};
+use bscope_os::{AslrPolicy, Enclave, EnclaveController, System};
+use bscope_uarch::NoiseConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Table 1: deriving all eight FSM rows for both counter flavours.
+fn table1_rows(c: &mut Criterion) {
+    c.bench_function("table1_fsm_rows", |b| {
+        b.iter(|| {
+            for kind in
+                [bscope_bpu::CounterKind::TwoBit, bscope_bpu::CounterKind::SkylakeAsymmetric]
+            {
+                black_box(table1(kind));
+            }
+        });
+    });
+}
+
+/// Table 2: transmitting 256 covert bits per machine and noise setting.
+fn table2_covert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_covert_256_bits");
+    for profile in MicroarchProfile::paper_machines() {
+        for (setting, noise) in [
+            ("isolated", NoiseConfig::isolated_core()),
+            ("noisy", NoiseConfig::system_activity()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(profile.arch.to_string(), setting),
+                &(profile.clone(), noise),
+                |b, (profile, noise)| {
+                    let bits: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
+                    b.iter(|| {
+                        let mut sys =
+                            System::new(profile.clone(), 9).with_noise(noise.clone());
+                        let sender = sys.spawn("trojan", AslrPolicy::Disabled);
+                        let receiver = sys.spawn("spy", AslrPolicy::Disabled);
+                        let mut channel =
+                            CovertChannel::new(AttackConfig::for_profile(profile)).unwrap();
+                        black_box(channel.transmit(&mut sys, sender, receiver, &bits))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Table 3: receiving 256 bits from a single-stepped enclave.
+fn table3_sgx(c: &mut Criterion) {
+    c.bench_function("table3_sgx_256_bits", |b| {
+        let profile = MicroarchProfile::skylake();
+        let secret: Vec<bool> = (0..256).map(|i| i % 5 == 0).collect();
+        b.iter(|| {
+            let mut sys = System::new(profile.clone(), 10);
+            let receiver = sys.spawn("spy", AslrPolicy::Disabled);
+            let mut enclave =
+                Enclave::launch(&mut sys, "enclave", EnclaveSender::new(secret.clone()));
+            let controller = EnclaveController::new();
+            let mut channel = CovertChannel::new(AttackConfig::for_profile(&profile)).unwrap();
+            black_box(channel.receive_from_enclave(
+                &mut sys,
+                &mut enclave,
+                &controller,
+                receiver,
+                secret.len(),
+            ))
+        });
+    });
+}
+
+criterion_group!(tables, table1_rows, table2_covert, table3_sgx);
+criterion_main!(tables);

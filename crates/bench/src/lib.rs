@@ -1,0 +1,25 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `figures` — one benchmark per reproduced figure workload (Figs. 2–9);
+//! * `tables` — the Table 1/2/3 workloads;
+//! * `attack_paths` — hot attack primitives (predict/update, prime, probe,
+//!   full read-bit rounds, block execution);
+//! * `ablations` — design-choice ablations (counter flavour, prime
+//!   pollution budget, noise level, perceptron substrate).
+
+#![forbid(unsafe_code)]
+
+use bscope_bpu::MicroarchProfile;
+use bscope_os::{AslrPolicy, Pid, System};
+
+/// A standard two-process system for attack benchmarks.
+#[must_use]
+pub fn attack_fixture(profile: MicroarchProfile, seed: u64) -> (System, Pid, Pid, u64) {
+    let mut sys = System::new(profile, seed);
+    let victim = sys.spawn("victim", AslrPolicy::Disabled);
+    let spy = sys.spawn("spy", AslrPolicy::Disabled);
+    let target = sys.process(victim).vaddr_of(0x6d);
+    (sys, victim, spy, target)
+}

@@ -1,0 +1,297 @@
+//! Three-stage attack orchestration.
+
+use crate::decode::DirectionDict;
+use crate::error::AttackError;
+use crate::prime::{SearchedPrime, TargetedPrime};
+use crate::probe::{probe_with_counters, ProbeKind, ProbePattern};
+use bscope_bpu::{CounterKind, MicroarchProfile, Outcome, PhtState, VirtAddr};
+use bscope_os::{Pid, System};
+
+/// Configuration of a BranchScope instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackConfig {
+    /// Strong state the target entry is primed into before each victim
+    /// execution. Default: strongly not-taken.
+    pub primed: PhtState,
+    /// Probe direction pair. Must oppose the primed state; default:
+    /// taken-taken. (This SN + TT default works on all three paper
+    /// machines, including Skylake with its ST/WT ambiguity.)
+    pub probe: ProbeKind,
+    /// Counter flavour of the attacked machine (fixes the decode
+    /// dictionary).
+    pub counter_kind: CounterKind,
+    /// Cycles the spy waits around the victim trigger (the `usleep` of
+    /// Listing 3 that lets the slowed-down victim execute its branch).
+    /// This is the window in which the primed PHT entry is exposed to
+    /// background noise; Table 2's error rates scale with it.
+    pub victim_wait_cycles: u64,
+}
+
+impl AttackConfig {
+    /// The canonical configuration for a machine profile: prime SN, probe
+    /// TT, dictionary for the profile's counter flavour.
+    #[must_use]
+    pub fn for_profile(profile: &MicroarchProfile) -> Self {
+        AttackConfig {
+            primed: PhtState::StronglyNotTaken,
+            probe: ProbeKind::TakenTaken,
+            counter_kind: profile.counter_kind,
+            victim_wait_cycles: 40_000,
+        }
+    }
+}
+
+/// A configured BranchScope attack: primes, triggers the victim, probes and
+/// decodes (paper §4, §7).
+///
+/// The attack object is stateful only in that each round derives fresh
+/// GHR-scramble randomness; the decode dictionary is fixed at construction.
+#[derive(Debug)]
+pub struct BranchScope {
+    config: AttackConfig,
+    dict: DirectionDict,
+    searched: Option<SearchedPrime>,
+    targeted: Option<TargetedPrime>,
+}
+
+impl BranchScope {
+    /// Builds the attack for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::AmbiguousConfiguration`] if the prime/probe
+    /// combination cannot distinguish victim directions on this counter
+    /// (see [`DirectionDict::build`]).
+    pub fn new(config: AttackConfig) -> Result<Self, AttackError> {
+        let dict = DirectionDict::build(config.counter_kind, config.primed, config.probe)?;
+        Ok(BranchScope { config, dict, searched: None, targeted: None })
+    }
+
+    /// Uses a pre-searched randomization block (the paper's full §6.2
+    /// prime) instead of the fast targeted prime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidParameter`] if the block's desired
+    /// state differs from the configured prime state.
+    pub fn with_searched_prime(mut self, prime: SearchedPrime) -> Result<Self, AttackError> {
+        if prime.desired() != self.config.primed {
+            return Err(AttackError::InvalidParameter(format!(
+                "searched prime leaves {} but the attack expects {}",
+                prime.desired(),
+                self.config.primed
+            )));
+        }
+        self.searched = Some(prime);
+        Ok(self)
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> AttackConfig {
+        self.config
+    }
+
+    /// The decode dictionary in use.
+    #[must_use]
+    pub fn dict(&self) -> &DirectionDict {
+        &self.dict
+    }
+
+    /// Stage 1 for `target`. The targeted prime is cached across rounds so
+    /// its per-round GHR scramble actually varies — replaying an identical
+    /// scramble would hand the 2-level predictor a learnable context, which
+    /// is precisely what stage 1 must prevent.
+    fn run_prime(&mut self, sys: &mut System, spy: Pid, target: VirtAddr) {
+        if let Some(s) = &self.searched {
+            if s.target() == target {
+                s.prime(&mut sys.cpu(spy));
+                return;
+            }
+        }
+        let needs_new = !matches!(&self.targeted, Some(t) if t.target() == target);
+        if needs_new {
+            self.targeted = Some(TargetedPrime::new(target, self.config.primed));
+        }
+        let prime = self.targeted.as_mut().expect("just ensured");
+        prime.prime(&mut sys.cpu(spy));
+    }
+
+    /// Runs stage 1 (prime) only. Useful when composing a custom stage-3
+    /// observation, e.g. probing through the §8 timing channel instead of
+    /// the performance counters.
+    pub fn prime(&mut self, sys: &mut System, spy: Pid, target: VirtAddr) {
+        self.run_prime(sys, spy, target);
+    }
+
+    /// Runs one full prime → victim → probe round and returns the raw
+    /// observed pattern (stage 3 observation, before decoding).
+    ///
+    /// `trigger` is the stage-2 action: it must cause the victim to execute
+    /// the monitored branch exactly once (slowed-down scheduling or SGX
+    /// single-stepping provide this; see `bscope-os`).
+    pub fn observe_bit(
+        &mut self,
+        sys: &mut System,
+        spy: Pid,
+        target: VirtAddr,
+        trigger: impl FnOnce(&mut System),
+    ) -> ProbePattern {
+        self.run_prime(sys, spy, target); // stage 1
+        // Stage 2: wait for the slowed-down victim to reach and execute the
+        // monitored branch (Listing 3's usleep). Background noise keeps
+        // running on the shared BPU throughout.
+        sys.cpu(spy).work(self.config.victim_wait_cycles / 2);
+        trigger(sys);
+        sys.cpu(spy).work(self.config.victim_wait_cycles / 2);
+        probe_with_counters(&mut sys.cpu(spy), target, self.config.probe) // stage 3
+    }
+
+    /// Reads the direction of one victim branch execution.
+    pub fn read_bit(
+        &mut self,
+        sys: &mut System,
+        spy: Pid,
+        target: VirtAddr,
+        trigger: impl FnOnce(&mut System),
+    ) -> Outcome {
+        let pattern = self.observe_bit(sys, spy, target, trigger);
+        self.dict.decode(pattern)
+    }
+
+    /// Reads `n` consecutive victim branch directions; `trigger` is called
+    /// once per bit with the bit index.
+    pub fn read_bits(
+        &mut self,
+        sys: &mut System,
+        spy: Pid,
+        target: VirtAddr,
+        n: usize,
+        mut trigger: impl FnMut(&mut System, usize),
+    ) -> Vec<Outcome> {
+        (0..n).map(|i| self.read_bit(sys, spy, target, |sys| trigger(sys, i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bscope_os::AslrPolicy;
+    use bscope_uarch::NoiseConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(profile: MicroarchProfile, seed: u64) -> (System, Pid, Pid, VirtAddr) {
+        let mut sys = System::new(profile, seed);
+        let victim = sys.spawn("victim", AslrPolicy::Disabled);
+        let spy = sys.spawn("spy", AslrPolicy::Disabled);
+        let target = sys.process(victim).vaddr_of(0x6d);
+        (sys, victim, spy, target)
+    }
+
+    #[test]
+    fn reads_single_bits_on_all_three_machines() {
+        for profile in MicroarchProfile::paper_machines() {
+            let (mut sys, victim, spy, target) = setup(profile.clone(), 42);
+            let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+            for &secret in &[Outcome::Taken, Outcome::NotTaken, Outcome::Taken] {
+                let read = attack.read_bit(&mut sys, spy, target, |sys| {
+                    sys.cpu(victim).branch_at(0x6d, secret);
+                });
+                assert_eq!(read, secret, "{}", profile.arch);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_patterns_match_the_dictionary() {
+        let profile = MicroarchProfile::haswell();
+        let (mut sys, victim, spy, target) = setup(profile.clone(), 7);
+        let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+        let pattern = attack.observe_bit(&mut sys, spy, target, |sys| {
+            sys.cpu(victim).branch_at(0x6d, Outcome::Taken);
+        });
+        assert_eq!(pattern, attack.dict().expected(Outcome::Taken));
+    }
+
+    #[test]
+    fn recovers_a_random_bitstream_noiselessly() {
+        let profile = MicroarchProfile::skylake();
+        let (mut sys, victim, spy, target) = setup(profile.clone(), 13);
+        let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let secret: Vec<Outcome> = (0..200).map(|_| Outcome::from_bool(rng.gen())).collect();
+        let read = attack.read_bits(&mut sys, spy, target, secret.len(), |sys, i| {
+            sys.cpu(victim).branch_at(0x6d, secret[i]);
+        });
+        assert_eq!(read, secret, "noiseless recovery must be exact");
+    }
+
+    #[test]
+    fn tolerates_system_noise_with_low_error() {
+        let profile = MicroarchProfile::skylake();
+        let mut sys = System::new(profile.clone(), 31).with_noise(NoiseConfig::system_activity());
+        let victim = sys.spawn("victim", AslrPolicy::Disabled);
+        let spy = sys.spawn("spy", AslrPolicy::Disabled);
+        let target = sys.process(victim).vaddr_of(0x6d);
+        let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let secret: Vec<Outcome> = (0..2_000).map(|_| Outcome::from_bool(rng.gen())).collect();
+        let read = attack.read_bits(&mut sys, spy, target, secret.len(), |sys, i| {
+            sys.cpu(victim).branch_at(0x6d, secret[i]);
+        });
+        let errors = read.iter().zip(&secret).filter(|(a, b)| a != b).count();
+        let rate = errors as f64 / secret.len() as f64;
+        assert!(rate < 0.05, "error rate {rate:.4} too high under system noise");
+    }
+
+    #[test]
+    fn works_with_searched_prime() {
+        let profile = MicroarchProfile::skylake();
+        let (mut sys, victim, spy, target) = setup(profile.clone(), 23);
+        let searched = SearchedPrime::search(
+            &mut sys,
+            spy,
+            target,
+            PhtState::StronglyNotTaken,
+            3,
+            64,
+            500,
+        )
+        .unwrap();
+        let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))
+            .unwrap()
+            .with_searched_prime(searched)
+            .unwrap();
+        for &secret in &[Outcome::NotTaken, Outcome::Taken] {
+            let read = attack.read_bit(&mut sys, spy, target, |sys| {
+                sys.cpu(victim).branch_at(0x6d, secret);
+            });
+            assert_eq!(read, secret);
+        }
+    }
+
+    #[test]
+    fn mismatched_searched_prime_rejected() {
+        let profile = MicroarchProfile::haswell();
+        let (mut sys, _victim, spy, target) = setup(profile.clone(), 3);
+        let searched =
+            SearchedPrime::search(&mut sys, spy, target, PhtState::StronglyTaken, 3, 64, 800)
+                .unwrap();
+        let res = BranchScope::new(AttackConfig::for_profile(&profile))
+            .unwrap()
+            .with_searched_prime(searched);
+        assert!(matches!(res, Err(AttackError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn ambiguous_config_rejected_at_construction() {
+        let res = BranchScope::new(AttackConfig {
+            primed: PhtState::StronglyTaken,
+            probe: ProbeKind::TakenTaken,
+            counter_kind: CounterKind::TwoBit,
+            victim_wait_cycles: 0,
+        });
+        assert!(matches!(res, Err(AttackError::AmbiguousConfiguration { .. })));
+    }
+}

@@ -1,0 +1,70 @@
+//! Attack error types.
+
+use bscope_bpu::{Outcome, PhtState};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring or running the BranchScope attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The chosen prime-state / probe-direction combination cannot
+    /// distinguish a taken from a not-taken victim branch on this counter
+    /// (e.g. priming ST and probing taken-taken always observes `HH`, and
+    /// on Skylake priming ST and probing not-taken observes `MM` for both
+    /// directions — the ST/WT ambiguity of Table 1, footnote 1).
+    AmbiguousConfiguration {
+        /// State the entry is primed to.
+        primed: PhtState,
+        /// Probe direction that fails to discriminate.
+        probe: Outcome,
+    },
+    /// No randomization block leaving the target entry in the desired state
+    /// was found within the search budget (paper §6.2 pre-attack search).
+    PrimeSearchExhausted {
+        /// Desired target-entry state.
+        desired: PhtState,
+        /// Candidate blocks tried.
+        attempts: usize,
+    },
+    /// A parameter was out of its documented range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::AmbiguousConfiguration { primed, probe } => write!(
+                f,
+                "priming {primed} and probing with {probe} branches cannot distinguish the victim direction"
+            ),
+            AttackError::PrimeSearchExhausted { desired, attempts } => write!(
+                f,
+                "no randomization block left the target entry in {desired} after {attempts} candidates"
+            ),
+            AttackError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for AttackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AttackError::AmbiguousConfiguration {
+            primed: PhtState::StronglyTaken,
+            probe: Outcome::Taken,
+        };
+        assert!(e.to_string().contains("ST"));
+        let e = AttackError::PrimeSearchExhausted {
+            desired: PhtState::StronglyNotTaken,
+            attempts: 32,
+        };
+        assert!(e.to_string().contains("32"));
+        let e = AttackError::InvalidParameter("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+    }
+}

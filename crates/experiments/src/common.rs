@@ -1,0 +1,65 @@
+//! Shared experiment plumbing: scale factors and small output helpers.
+
+/// Experiment scale: `full()` approaches the paper's sample sizes where
+/// affordable; `quick()` runs everything in seconds for smoke testing.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Whether this is the reduced (smoke-test) scale.
+    pub quick: bool,
+    /// Base seed for all experiment randomness.
+    pub seed: u64,
+}
+
+impl Scale {
+    pub fn full() -> Self {
+        Scale { quick: false, seed: 0xB5C0_9E01 }
+    }
+
+    #[allow(dead_code)] // handy for unit-style invocations
+    pub fn quick() -> Self {
+        Scale { quick: true, seed: 0xB5C0_9E01 }
+    }
+
+    /// Picks a sample size by scale.
+    pub fn n(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Simple text bar for terminal "plots".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max <= 0.0 { 0 } else { ((value / max) * width as f64).round() as usize };
+    let filled = filled.min(width);
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Mean of a u64 sample.
+pub fn mean(v: &[u64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<u64>() as f64 / v.len() as f64
+}
+
+/// Population standard deviation of a u64 sample.
+#[allow(dead_code)] // used by ad-hoc experiment variants
+pub fn std_dev(v: &[u64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Percentile (nearest-rank) of a u64 sample.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}

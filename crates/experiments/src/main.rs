@@ -1,0 +1,92 @@
+//! BranchScope experiment harness: regenerates every table and figure of
+//! the paper's evaluation against the simulated substrate.
+//!
+//! ```text
+//! experiments [--quick] [--seed N] <experiment>...
+//! experiments all            # everything, paper-scale (minutes)
+//! experiments --quick all    # everything, reduced scale (seconds)
+//! ```
+
+mod apps;
+mod capacity;
+mod common;
+mod fig2;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod mitigation_table;
+mod related;
+mod sensitivity;
+mod table1;
+mod table2;
+mod table3;
+
+use common::Scale;
+
+const EXPERIMENTS: &[(&str, &str, fn(&Scale))] = &[
+    ("fig2", "2-level predictor learning curve (Fig. 2)", fig2::run),
+    ("table1", "FSM transition / observation table (Table 1)", table1::run),
+    ("fig4", "randomization-block stability & state distribution (Fig. 4)", fig4::run),
+    ("fig5", "PHT granularity, size discovery and alignment (Fig. 5)", fig5::run),
+    ("fig6", "covert-channel decoding demonstration (Fig. 6)", fig6::run),
+    ("table2", "covert-channel error rates, 3 CPUs x 2 noise settings (Table 2)", table2::run),
+    ("fig7", "branch latency distributions, hit vs miss (Fig. 7)", fig7::run),
+    ("fig8", "timing-detection error vs number of measurements (Fig. 8)", fig8::run),
+    ("fig9", "probe latency by PHT state (Fig. 9)", fig9::run),
+    ("table3", "SGX covert-channel error rates (Table 3)", table3::run),
+    ("apps", "attack applications: Montgomery, libjpeg, ASLR (Sec. 9.2)", apps::run),
+    ("mitigations", "attack error under each defense (Sec. 10)", mitigation_table::run),
+    ("baselines", "BranchScope vs BTB-based attacks (Sec. 11)", related::run),
+    ("capacity", "EXTENSION: channel capacity vs noise and repetition coding", capacity::run),
+    ("sensitivity", "EXTENSION: error rate vs PHT size", sensitivity::run),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--quick] [--seed N] <experiment>|all ...");
+    eprintln!("experiments:");
+    for (name, desc, _) in EXPERIMENTS {
+        eprintln!("  {name:<12} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::full();
+    let mut selected: Vec<&str> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale.quick = true,
+            "--seed" => {
+                i += 1;
+                let value = args.get(i).unwrap_or_else(|| usage());
+                scale.seed = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            name => selected.push(match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
+                Some((n, _, _)) => n,
+                None if name == "all" => "all",
+                None => usage(),
+            }),
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        usage();
+    }
+    let run_all = selected.contains(&"all");
+    for (name, desc, run) in EXPERIMENTS {
+        if run_all || selected.contains(name) {
+            println!("==============================================================");
+            println!("{name}: {desc}");
+            println!("==============================================================");
+            let started = std::time::Instant::now();
+            run(&scale);
+            println!("[{name} finished in {:.1?}]\n", started.elapsed());
+        }
+    }
+}

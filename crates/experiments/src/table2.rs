@@ -1,0 +1,109 @@
+//! Table 2: covert-channel error rates on three CPUs, isolated vs noisy.
+
+use crate::common::Scale;
+use bscope_bpu::MicroarchProfile;
+use bscope_core::covert::CovertChannel;
+use bscope_core::AttackConfig;
+use bscope_os::{AslrPolicy, System};
+use bscope_uarch::NoiseConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Copy)]
+enum Payload {
+    AllZero,
+    AllOne,
+    Random,
+}
+
+impl Payload {
+    fn bits(self, n: usize, rng: &mut StdRng) -> Vec<bool> {
+        match self {
+            Payload::AllZero => vec![false; n],
+            Payload::AllOne => vec![true; n],
+            Payload::Random => (0..n).map(|_| rng.gen()).collect(),
+        }
+    }
+}
+
+fn error_rate(
+    profile: &MicroarchProfile,
+    noise: &NoiseConfig,
+    payload: Payload,
+    bits: usize,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for run in 0..runs {
+        let run_seed = seed ^ (run as u64) << 8;
+        let mut sys = System::new(profile.clone(), run_seed).with_noise(noise.clone());
+        let sender = sys.spawn("trojan", AslrPolicy::Disabled);
+        let receiver = sys.spawn("spy", AslrPolicy::Disabled);
+        let mut rng = StdRng::seed_from_u64(run_seed ^ 0x7AB1E2);
+        let message = payload.bits(bits, &mut rng);
+        let mut channel =
+            CovertChannel::new(AttackConfig::for_profile(profile)).expect("valid config");
+        total += channel.transmit(&mut sys, sender, receiver, &message).error_rate;
+    }
+    total / runs as f64
+}
+
+pub fn run(scale: &Scale) {
+    let bits = scale.n(20_000, 1_000);
+    let runs = scale.n(10, 2);
+    println!(
+        "average error rate transmitting {bits} bits per run, {runs} runs per cell\n"
+    );
+    println!("{:<26} {:>8} {:>8} {:>8}", "", "All 0", "All 1", "Random");
+
+    // Paper's Table 2 for side-by-side comparison.
+    let paper: &[(&str, [f64; 3])] = &[
+        ("SL isolated (paper)", [0.46, 0.51, 0.63]),
+        ("SL with noise (paper)", [0.64, 0.63, 0.74]),
+        ("Haswell isolated (paper)", [0.16, 0.27, 0.46]),
+        ("Haswell noise (paper)", [0.37, 0.29, 0.67]),
+        ("SB isolated (paper)", [0.68, 1.76, 2.44]),
+        ("SB with noise (paper)", [1.76, 4.88, 3.38]),
+    ];
+
+    let mut ours: Vec<(String, [f64; 3])> = Vec::new();
+    for profile in MicroarchProfile::paper_machines() {
+        for (setting, noise) in [
+            ("isolated", NoiseConfig::isolated_core()),
+            ("with noise", NoiseConfig::system_activity()),
+        ] {
+            let mut row = [0.0f64; 3];
+            for (i, payload) in
+                [Payload::AllZero, Payload::AllOne, Payload::Random].into_iter().enumerate()
+            {
+                row[i] = 100.0
+                    * error_rate(&profile, &noise, payload, bits, runs, scale.seed ^ (i as u64));
+            }
+            ours.push((format!("{} {}", profile.arch, setting), row));
+        }
+    }
+
+    for (label, row) in &ours {
+        println!("{:<26} {:>7.3}% {:>7.3}% {:>7.3}%", label, row[0], row[1], row[2]);
+    }
+    println!();
+    for (label, row) in paper {
+        println!("{:<26} {:>7.2}% {:>7.2}% {:>7.2}%", label, row[0], row[1], row[2]);
+    }
+
+    println!("\nshape checks:");
+    let avg = |r: &[f64; 3]| (r[0] + r[1] + r[2]) / 3.0;
+    let sl = (avg(&ours[0].1), avg(&ours[1].1));
+    let hw = (avg(&ours[2].1), avg(&ours[3].1));
+    let sb = (avg(&ours[4].1), avg(&ours[5].1));
+    println!(
+        "  error rates below 1% on Skylake/Haswell: {}",
+        sl.1 < 1.0 && hw.1 < 1.0
+    );
+    println!("  Sandy Bridge worse than Skylake & Haswell: {}", sb.1 > sl.1 && sb.1 > hw.1);
+    println!(
+        "  isolated <= noisy on every machine: {}",
+        sl.0 <= sl.1 && hw.0 <= hw.1 && sb.0 <= sb.1
+    );
+}

@@ -1,0 +1,369 @@
+//! Instructions, labels and the layout-computing assembler.
+
+use std::error::Error;
+use std::fmt;
+
+/// One of the machine's four general-purpose registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register 0.
+    pub const R0: Reg = Reg(0);
+    /// Register 1.
+    pub const R1: Reg = Reg(1);
+    /// Register 2.
+    pub const R2: Reg = Reg(2);
+    /// Register 3.
+    pub const R3: Reg = Reg(3);
+
+    /// Register index (0–3).
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+/// A branch target, created by [`ProgramBuilder::new_label`] and bound to a
+/// code position with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// One instruction. Encoded sizes follow x86 conventions where the paper
+/// depends on them: conditional branches (`je`/`jne`) are **two bytes** —
+/// the increment visible in the paper's Listing 1 — and `nop` is one byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// One-byte no-op (the layout-randomisation filler of Listing 1).
+    Nop,
+    /// Load an immediate into a register (5 bytes).
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Copy a register (2 bytes).
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst += src` (3 bytes).
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst += imm` (4 bytes).
+    AddImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate addend.
+        imm: i64,
+    },
+    /// `dst -= src` (3 bytes).
+    Sub {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Load bit `index mod len` of the program's secret data segment into
+    /// `dst` as 0/1 (4 bytes) — the `sec_data[i]` access of Listing 2.
+    LoadSecret {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the bit index.
+        index: Reg,
+    },
+    /// Spend `cycles` cycles of non-branch work (3 bytes) — models the
+    /// arithmetic surrounding the interesting branches.
+    Work {
+        /// Wall-clock cycles to burn.
+        cycles: u16,
+    },
+    /// `je`: branch to `target` when the register is zero (2 bytes).
+    BranchZero {
+        /// Condition register.
+        cond: Reg,
+        /// Branch target.
+        target: Label,
+    },
+    /// `jne`: branch to `target` when the register is non-zero (2 bytes).
+    BranchNotZero {
+        /// Condition register.
+        cond: Reg,
+        /// Branch target.
+        target: Label,
+    },
+    /// Unconditional jump (2 bytes). Does not engage the directional
+    /// predictor (direction is architecturally fixed).
+    Jump {
+        /// Jump target.
+        target: Label,
+    },
+    /// Stop execution (1 byte).
+    Halt,
+}
+
+impl Instr {
+    /// Encoded size in bytes — this is what gives programs their
+    /// byte-accurate branch layout.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        match self {
+            Instr::Nop | Instr::Halt => 1,
+            Instr::Mov { .. } | Instr::BranchZero { .. } | Instr::BranchNotZero { .. }
+            | Instr::Jump { .. } => 2,
+            Instr::Add { .. } | Instr::Sub { .. } | Instr::Work { .. } => 3,
+            Instr::AddImm { .. } | Instr::LoadSecret { .. } => 4,
+            Instr::MovImm { .. } => 5,
+        }
+    }
+
+    /// Whether this is a conditional branch (the instructions the BPU — and
+    /// the attack — care about).
+    #[must_use]
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(self, Instr::BranchZero { .. } | Instr::BranchNotZero { .. })
+    }
+}
+
+/// Errors from [`ProgramBuilder::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel(Label),
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AssembleError::Empty => f.write_str("program has no instructions"),
+        }
+    }
+}
+
+impl Error for AssembleError {}
+
+/// An assembled program: instructions with their code offsets, resolved
+/// branch targets and a secret data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    offsets: Vec<u64>,
+    /// Branch/jump targets resolved to instruction indices, parallel to
+    /// `instrs` (only meaningful for control-flow instructions).
+    targets: Vec<usize>,
+    secret: Vec<bool>,
+}
+
+impl Program {
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true once assembled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Total code bytes.
+    #[must_use]
+    pub fn code_bytes(&self) -> u64 {
+        self.offsets.last().map_or(0, |&o| o + self.instrs.last().map_or(0, Instr::size))
+    }
+
+    /// Instruction at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn instr(&self, index: usize) -> Instr {
+        self.instrs[index]
+    }
+
+    /// Code offset of the instruction at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn offset(&self, index: usize) -> u64 {
+        self.offsets[index]
+    }
+
+    /// Resolved target instruction index for the control-flow instruction
+    /// at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn target(&self, index: usize) -> usize {
+        self.targets[index]
+    }
+
+    /// The secret data segment.
+    #[must_use]
+    pub fn secret(&self) -> &[bool] {
+        &self.secret
+    }
+
+    /// Code offsets of all conditional branches — what an attacker reads
+    /// out of the binary's disassembly.
+    #[must_use]
+    pub fn conditional_branch_offsets(&self) -> Vec<u64> {
+        self.instrs
+            .iter()
+            .zip(&self.offsets)
+            .filter(|(i, _)| i.is_conditional_branch())
+            .map(|(_, &o)| o)
+            .collect()
+    }
+}
+
+/// Builds a [`Program`]: push instructions, create/bind labels, assemble.
+///
+/// ```
+/// use bscope_isa::{Instr, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let skip = b.new_label();
+/// b.push(Instr::MovImm { dst: Reg::R0, imm: 0 });
+/// b.push(Instr::BranchZero { cond: Reg::R0, target: skip }); // je skip
+/// b.push(Instr::Nop);
+/// b.bind(skip);
+/// b.push(Instr::Halt);
+/// let program = b.assemble().unwrap();
+/// assert_eq!(program.offset(1), 5, "je sits after the 5-byte mov");
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    secret: Vec<bool>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Appends an instruction; returns its index.
+    pub fn push(&mut self, instr: Instr) -> usize {
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the position of the *next* pushed instruction.
+    pub fn bind(&mut self, label: Label) {
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Installs the secret data segment (readable via
+    /// [`Instr::LoadSecret`]).
+    pub fn set_secret(&mut self, secret: Vec<bool>) {
+        self.secret = secret;
+    }
+
+    /// Lays out the code and resolves every label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError::Empty`] for an instruction-less program and
+    /// [`AssembleError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn assemble(self) -> Result<Program, AssembleError> {
+        if self.instrs.is_empty() {
+            return Err(AssembleError::Empty);
+        }
+        let mut offsets = Vec::with_capacity(self.instrs.len());
+        let mut offset = 0u64;
+        for instr in &self.instrs {
+            offsets.push(offset);
+            offset += instr.size();
+        }
+        let resolve = |label: Label| -> Result<usize, AssembleError> {
+            let position =
+                self.labels[label.0].ok_or(AssembleError::UnboundLabel(label))?;
+            // Binding after the last instruction targets the end (halt-like);
+            // clamp to the final instruction which must be reachable.
+            Ok(position.min(self.instrs.len() - 1))
+        };
+        let mut targets = Vec::with_capacity(self.instrs.len());
+        for instr in &self.instrs {
+            targets.push(match instr {
+                Instr::BranchZero { target, .. }
+                | Instr::BranchNotZero { target, .. }
+                | Instr::Jump { target } => resolve(*target)?,
+                _ => 0,
+            });
+        }
+        Ok(Program { instrs: self.instrs, offsets, targets, secret: self.secret })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_byte_accurate() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 7 }); // 0, 5 bytes
+        b.push(Instr::Nop); // 5
+        b.push(Instr::BranchZero { cond: Reg::R0, target: l }); // 6, 2 bytes
+        b.bind(l);
+        b.push(Instr::Halt); // 8
+        let p = b.assemble().unwrap();
+        assert_eq!(p.offset(0), 0);
+        assert_eq!(p.offset(1), 5);
+        assert_eq!(p.offset(2), 6);
+        assert_eq!(p.offset(3), 8);
+        assert_eq!(p.code_bytes(), 9);
+        assert_eq!(p.target(2), 3);
+        assert_eq!(p.conditional_branch_offsets(), vec![6]);
+    }
+
+    #[test]
+    fn unbound_label_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.push(Instr::Jump { target: l });
+        assert!(matches!(b.assemble(), Err(AssembleError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(ProgramBuilder::new().assemble().unwrap_err(), AssembleError::Empty);
+    }
+
+    #[test]
+    fn branch_sizes_match_the_paper() {
+        // Listing 1's layout arithmetic relies on je/jne being two bytes
+        // and nop one byte.
+        assert_eq!(Instr::BranchZero { cond: Reg::R0, target: Label(0) }.size(), 2);
+        assert_eq!(Instr::BranchNotZero { cond: Reg::R0, target: Label(0) }.size(), 2);
+        assert_eq!(Instr::Nop.size(), 1);
+    }
+}

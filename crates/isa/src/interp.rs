@@ -1,0 +1,266 @@
+//! The interpreter: runs a [`Program`] on a process's CPU view.
+
+use crate::assemble::{Instr, Program};
+use bscope_bpu::Outcome;
+use bscope_os::{CpuView, Workload};
+
+/// Record of one retired conditional branch (ground truth for tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutedBranch {
+    /// Code offset of the branch instruction.
+    pub offset: u64,
+    /// Resolved direction.
+    pub outcome: Outcome,
+}
+
+/// Executes a [`Program`] instruction by instruction on the simulated
+/// machine. Conditional branches go through the shared BPU at the exact
+/// code offsets the assembler computed; everything else costs wall-clock
+/// time only.
+///
+/// [`Workload::step`] advances execution until **one conditional branch
+/// retires** (or the program halts) — the granularity at which the paper's
+/// slowed-down victims are scheduled, so an `Interpreter` plugs directly
+/// into the attack harness and the SGX single-stepper.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    program: Program,
+    pc: usize,
+    regs: [i64; 4],
+    halted: bool,
+    branch_log: Vec<ExecutedBranch>,
+    instructions_retired: u64,
+}
+
+impl Interpreter {
+    /// Interpreter positioned at the first instruction.
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        Interpreter {
+            program,
+            pc: 0,
+            regs: [0; 4],
+            halted: false,
+            branch_log: Vec::new(),
+            instructions_retired: 0,
+        }
+    }
+
+    /// Whether the program has halted.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current register file (diagnostics and tests).
+    #[must_use]
+    pub fn regs(&self) -> [i64; 4] {
+        self.regs
+    }
+
+    /// Total instructions retired.
+    #[must_use]
+    pub fn instructions_retired(&self) -> u64 {
+        self.instructions_retired
+    }
+
+    /// Every conditional branch retired so far, in order.
+    #[must_use]
+    pub fn branch_log(&self) -> &[ExecutedBranch] {
+        &self.branch_log
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes exactly one instruction. Returns `false` once halted.
+    pub fn step_instruction(&mut self, cpu: &mut CpuView<'_>) -> bool {
+        if self.halted {
+            return false;
+        }
+        let instr = self.program.instr(self.pc);
+        let offset = self.program.offset(self.pc);
+        self.instructions_retired += 1;
+        let mut next = self.pc + 1;
+        match instr {
+            Instr::Nop => cpu.work(1),
+            Instr::MovImm { dst, imm } => self.regs[dst.index()] = imm,
+            Instr::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            Instr::Add { dst, src } => {
+                self.regs[dst.index()] = self.regs[dst.index()].wrapping_add(self.regs[src.index()]);
+            }
+            Instr::AddImm { dst, imm } => {
+                self.regs[dst.index()] = self.regs[dst.index()].wrapping_add(imm);
+            }
+            Instr::Sub { dst, src } => {
+                self.regs[dst.index()] = self.regs[dst.index()].wrapping_sub(self.regs[src.index()]);
+            }
+            Instr::LoadSecret { dst, index } => {
+                let secret = self.program.secret();
+                let value = if secret.is_empty() {
+                    0
+                } else {
+                    let i = self.regs[index.index()].rem_euclid(secret.len() as i64) as usize;
+                    i64::from(secret[i])
+                };
+                self.regs[dst.index()] = value;
+                cpu.work(4); // L1 load
+            }
+            Instr::Work { cycles } => cpu.work(u64::from(cycles)),
+            Instr::BranchZero { cond, .. } => {
+                let taken = self.regs[cond.index()] == 0;
+                cpu.branch_at(offset, Outcome::from_bool(taken));
+                self.branch_log.push(ExecutedBranch { offset, outcome: Outcome::from_bool(taken) });
+                if taken {
+                    next = self.program.target(self.pc);
+                }
+            }
+            Instr::BranchNotZero { cond, .. } => {
+                let taken = self.regs[cond.index()] != 0;
+                cpu.branch_at(offset, Outcome::from_bool(taken));
+                self.branch_log.push(ExecutedBranch { offset, outcome: Outcome::from_bool(taken) });
+                if taken {
+                    next = self.program.target(self.pc);
+                }
+            }
+            Instr::Jump { .. } => next = self.program.target(self.pc),
+            Instr::Halt => {
+                self.halted = true;
+                return false;
+            }
+        }
+        self.pc = next;
+        if self.pc >= self.program.len() {
+            self.halted = true;
+        }
+        !self.halted
+    }
+
+    /// Runs until the program halts (no step budget — use [`Workload::run`]
+    /// for bounded execution).
+    pub fn run_to_halt(&mut self, cpu: &mut CpuView<'_>) {
+        while self.step_instruction(cpu) {}
+    }
+}
+
+impl Workload for Interpreter {
+    /// One step = execute until one conditional branch retires (or halt).
+    fn step(&mut self, cpu: &mut CpuView<'_>) -> bool {
+        let branches_before = self.branch_log.len();
+        while !self.halted {
+            let more = self.step_instruction(cpu);
+            if self.branch_log.len() > branches_before || !more {
+                break;
+            }
+        }
+        !self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::{ProgramBuilder, Reg};
+    use bscope_bpu::MicroarchProfile;
+    use bscope_os::{AslrPolicy, System};
+
+    fn with_cpu<T>(f: impl FnOnce(&mut CpuView<'_>) -> T) -> T {
+        let mut sys = System::new(MicroarchProfile::skylake(), 1);
+        let pid = sys.spawn("p", AslrPolicy::Disabled);
+        let mut cpu = sys.cpu(pid);
+        f(&mut cpu)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 40 });
+        b.push(Instr::AddImm { dst: Reg::R0, imm: 2 });
+        b.push(Instr::MovImm { dst: Reg::R1, imm: 10 });
+        b.push(Instr::Sub { dst: Reg::R0, src: Reg::R1 });
+        b.push(Instr::Halt);
+        let mut interp = Interpreter::new(b.assemble().unwrap());
+        with_cpu(|cpu| interp.run_to_halt(cpu));
+        assert!(interp.halted());
+        assert_eq!(interp.regs()[0], 32);
+        assert_eq!(interp.instructions_retired(), 5);
+    }
+
+    #[test]
+    fn loop_executes_and_terminates() {
+        // r0 = 5; loop: r0 -= 1; jne loop; halt
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 5 });
+        b.bind(top);
+        b.push(Instr::AddImm { dst: Reg::R0, imm: -1 });
+        b.push(Instr::BranchNotZero { cond: Reg::R0, target: top });
+        b.push(Instr::Halt);
+        let mut interp = Interpreter::new(b.assemble().unwrap());
+        with_cpu(|cpu| interp.run_to_halt(cpu));
+        assert_eq!(interp.regs()[0], 0);
+        // 5 loop iterations: 4 taken, final not-taken.
+        assert_eq!(interp.branch_log().len(), 5);
+        assert_eq!(interp.branch_log().iter().filter(|b| b.outcome.is_taken()).count(), 4);
+    }
+
+    #[test]
+    fn workload_step_granularity_is_one_branch() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 3 });
+        b.bind(top);
+        b.push(Instr::AddImm { dst: Reg::R0, imm: -1 });
+        b.push(Instr::BranchNotZero { cond: Reg::R0, target: top });
+        b.push(Instr::Halt);
+        let mut interp = Interpreter::new(b.assemble().unwrap());
+        with_cpu(|cpu| {
+            assert!(interp.step(cpu));
+            assert_eq!(interp.branch_log().len(), 1, "exactly one branch per step");
+            assert!(interp.step(cpu));
+            assert_eq!(interp.branch_log().len(), 2);
+        });
+    }
+
+    #[test]
+    fn branches_hit_the_bpu_at_their_layout_offsets() {
+        let mut sys = System::new(MicroarchProfile::skylake(), 2);
+        let pid = sys.spawn("p", AslrPolicy::Disabled);
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 0 }); // 0..5
+        b.push(Instr::BranchZero { cond: Reg::R0, target: skip }); // at 5, taken
+        b.push(Instr::Nop);
+        b.bind(skip);
+        b.push(Instr::Halt);
+        let mut interp = Interpreter::new(b.assemble().unwrap());
+        // Run it three times so the entry saturates.
+        for _ in 0..3 {
+            let mut fresh = Interpreter::new(interp.program().clone());
+            let mut cpu = sys.cpu(pid);
+            fresh.run_to_halt(&mut cpu);
+            interp = fresh;
+        }
+        let addr = sys.process(pid).vaddr_of(5);
+        assert_eq!(
+            sys.core().bpu().bimodal_state(addr),
+            bscope_bpu::PhtState::StronglyTaken,
+            "the always-taken je trains the PHT entry at its layout offset"
+        );
+    }
+
+    #[test]
+    fn load_secret_reads_the_data_segment() {
+        let mut b = ProgramBuilder::new();
+        b.set_secret(vec![true, false, true]);
+        b.push(Instr::MovImm { dst: Reg::R1, imm: 2 });
+        b.push(Instr::LoadSecret { dst: Reg::R0, index: Reg::R1 });
+        b.push(Instr::Halt);
+        let mut interp = Interpreter::new(b.assemble().unwrap());
+        with_cpu(|cpu| interp.run_to_halt(cpu));
+        assert_eq!(interp.regs()[0], 1);
+    }
+}

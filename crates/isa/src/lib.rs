@@ -1,0 +1,37 @@
+//! A tiny instruction set + interpreter for the BranchScope machine.
+//!
+//! The paper's artifacts are *programs*: the victim of Listing 2 is a
+//! compiled `if` with a two-byte `je` at offset `0x6d`, and the
+//! randomization code of Listing 1 derives its PHT coverage from the byte
+//! layout of `je`/`jne`/`nop` runs. This crate lets such code be written
+//! as an instruction stream with **byte-accurate layout**: the assembler
+//! assigns every instruction its code offset, and the [`Interpreter`]
+//! executes the stream on a process's [`CpuView`](bscope_os::CpuView), so
+//! conditional branches hit the simulated BPU at exactly the addresses the
+//! layout implies.
+//!
+//! # Example: the paper's Listing 2 victim, as machine code
+//!
+//! ```
+//! use bscope_bpu::MicroarchProfile;
+//! use bscope_isa::{programs, Interpreter};
+//! use bscope_os::{AslrPolicy, System, Workload};
+//!
+//! let program = programs::secret_branch_victim(&[true, false, true]);
+//! let mut sys = System::new(MicroarchProfile::skylake(), 1);
+//! let pid = sys.spawn("victim", AslrPolicy::Disabled);
+//! let mut interp = Interpreter::new(program);
+//! let mut cpu = sys.cpu(pid);
+//! while interp.step(&mut cpu) {}
+//! assert!(interp.halted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assemble;
+mod interp;
+pub mod programs;
+
+pub use assemble::{AssembleError, Instr, Label, Program, ProgramBuilder, Reg};
+pub use interp::{ExecutedBranch, Interpreter};

@@ -1,0 +1,195 @@
+//! The paper's listings, assembled as real programs.
+
+use crate::assemble::{Instr, Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Code offset the secret-dependent `je` of
+/// [`secret_branch_victim`] lands at — `<victim_f+0x6d>`, as in the
+/// paper's Listing 2 disassembly.
+pub const LISTING2_BRANCH_OFFSET: u64 = 0x6d;
+
+/// The paper's Listing 2 victim as machine code: a loop over a secret bit
+/// array whose body is
+///
+/// ```text
+///   test %eax,%eax          ; LoadSecret r0, r1
+///   je  <victim_f+0x6d>     ; BranchZero r0 — TAKEN when the bit is 0
+///   nop
+///   nop
+///   i++                     ; AddImm r1, 1
+/// ```
+///
+/// with NOP padding so the `je` sits at exactly offset `0x6d`. The loop's
+/// own back-edge branch lives at a different offset, so it occupies a
+/// different PHT entry and does not disturb the attacked one.
+///
+/// # Panics
+///
+/// Panics if `secret` is empty.
+#[must_use]
+pub fn secret_branch_victim(secret: &[bool]) -> Program {
+    assert!(!secret.is_empty(), "the victim needs at least one secret bit");
+    let mut b = ProgramBuilder::new();
+    b.set_secret(secret.to_vec());
+    let n = secret.len() as i64;
+
+    let loop_top = b.new_label();
+    let skip = b.new_label();
+
+    b.push(Instr::MovImm { dst: Reg::R1, imm: 0 }); // i = 0          [0..5)
+    b.bind(loop_top);
+    b.push(Instr::LoadSecret { dst: Reg::R0, index: Reg::R1 }); //    [5..9)
+    // Pad so the je lands at LISTING2_BRANCH_OFFSET.
+    for _ in 9..LISTING2_BRANCH_OFFSET {
+        b.push(Instr::Nop);
+    }
+    b.push(Instr::BranchZero { cond: Reg::R0, target: skip }); // je at 0x6d
+    b.push(Instr::Nop);
+    b.push(Instr::Nop);
+    b.bind(skip);
+    b.push(Instr::AddImm { dst: Reg::R1, imm: 1 }); // i++
+    // r3 = i - n; jne loop_top
+    b.push(Instr::Mov { dst: Reg::R3, src: Reg::R1 });
+    b.push(Instr::MovImm { dst: Reg::R2, imm: n });
+    b.push(Instr::Sub { dst: Reg::R3, src: Reg::R2 });
+    b.push(Instr::BranchNotZero { cond: Reg::R3, target: loop_top });
+    b.push(Instr::Halt);
+    b.assemble().expect("victim program assembles")
+}
+
+/// The paper's Listing 1 PHT-randomization block as machine code:
+///
+/// ```text
+/// randomize_pht:
+///   cmp %rcx, %rcx          ; MovImm r0, 0 (fixes the "flags")
+///   je .L0; nop; .L0: jne .L1; .L1: je .L2; …
+/// ```
+///
+/// `len` branches, each a `je` (always taken, since r0 == 0) or `jne`
+/// (never taken) chosen at generation time, with a one-byte `nop`
+/// interposed with probability ½ — reproducing the byte layout that lets
+/// the block touch a large number of PHT entries. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+#[must_use]
+pub fn randomize_pht(seed: u64, len: usize) -> Program {
+    assert!(len > 0, "a randomization block needs at least one branch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::MovImm { dst: Reg::R0, imm: 0 }); // cmp %rcx,%rcx
+    for _ in 0..len {
+        let next = b.new_label();
+        if rng.gen_bool(0.5) {
+            b.push(Instr::BranchZero { cond: Reg::R0, target: next }); // je: taken
+        } else {
+            b.push(Instr::BranchNotZero { cond: Reg::R0, target: next }); // jne: not taken
+        }
+        if rng.gen_bool(0.5) {
+            b.push(Instr::Nop);
+        }
+        b.bind(next);
+    }
+    b.push(Instr::Halt);
+    b.assemble().expect("randomization block assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use bscope_bpu::{MicroarchProfile, Outcome, PhtState};
+    use bscope_os::{AslrPolicy, System, Workload};
+
+    #[test]
+    fn listing2_branch_sits_at_0x6d() {
+        let p = secret_branch_victim(&[true, false]);
+        assert!(p.conditional_branch_offsets().contains(&LISTING2_BRANCH_OFFSET));
+    }
+
+    #[test]
+    fn listing2_leaks_the_secret_through_its_branch() {
+        let secret = [true, false, false, true, true];
+        let program = secret_branch_victim(&secret);
+        let mut sys = System::new(MicroarchProfile::skylake(), 3);
+        let pid = sys.spawn("victim", AslrPolicy::Disabled);
+        let mut interp = Interpreter::new(program);
+        let mut cpu = sys.cpu(pid);
+        interp.run_to_halt(&mut cpu);
+        // The branch at 0x6d executed once per bit, je-taken exactly when
+        // the bit is 0 — the Listing 2 semantics.
+        let directions: Vec<Outcome> = interp
+            .branch_log()
+            .iter()
+            .filter(|b| b.offset == LISTING2_BRANCH_OFFSET)
+            .map(|b| b.outcome)
+            .collect();
+        let expected: Vec<Outcome> =
+            secret.iter().map(|&bit| Outcome::from_bool(!bit)).collect();
+        assert_eq!(directions, expected);
+    }
+
+    #[test]
+    fn listing2_matches_the_handwritten_victim() {
+        // The machine-code victim and bscope-victims' SecretBranchVictim
+        // leave identical traces in the shared PHT.
+        let secret = vec![false; 4]; // je always taken
+        let program = secret_branch_victim(&secret);
+        let mut sys = System::new(MicroarchProfile::skylake(), 4);
+        let pid = sys.spawn("victim", AslrPolicy::Disabled);
+        let mut interp = Interpreter::new(program);
+        let mut cpu = sys.cpu(pid);
+        interp.run_to_halt(&mut cpu);
+        let addr = sys.process(pid).vaddr_of(LISTING2_BRANCH_OFFSET);
+        assert_eq!(sys.core().bpu().bimodal_state(addr), PhtState::StronglyTaken);
+    }
+
+    #[test]
+    fn randomize_pht_has_listing1_layout() {
+        let p = randomize_pht(9, 2_000);
+        let offsets = p.conditional_branch_offsets();
+        assert_eq!(offsets.len(), 2_000);
+        // Branches advance by 2 (je/jne) or 3 (with an interposed nop).
+        for pair in offsets.windows(2) {
+            let step = pair[1] - pair[0];
+            assert!(step == 2 || step == 3, "step {step}");
+        }
+    }
+
+    #[test]
+    fn randomize_pht_scrambles_entries_and_terminates() {
+        let program = randomize_pht(10, 4_096);
+        let mut sys = System::new(MicroarchProfile::skylake(), 5);
+        let pid = sys.spawn("spy", AslrPolicy::Disabled);
+        let stats_before = sys.core().bpu().stats().branches;
+        let mut interp = Interpreter::new(program);
+        let mut cpu = sys.cpu(pid);
+        interp.run_to_halt(&mut cpu);
+        assert!(interp.halted());
+        assert_eq!(sys.core().bpu().stats().branches - stats_before, 4_096);
+        // je branches were all taken, jne all not taken ⇒ roughly half the
+        // executed branches were taken.
+        let taken = interp.branch_log().iter().filter(|b| b.outcome.is_taken()).count();
+        assert!((1_500..2_600).contains(&taken), "taken {taken}");
+    }
+
+    #[test]
+    fn interpreter_works_as_a_schedulable_workload() {
+        // The assembled victim slots straight into the attack's stage-2
+        // trigger via the Workload trait.
+        let secret = [true, false, true];
+        let mut sys = System::new(MicroarchProfile::skylake(), 6);
+        let victim = sys.spawn("victim", AslrPolicy::Disabled);
+        let mut interp = Interpreter::new(secret_branch_victim(&secret));
+        let mut cpu = sys.cpu(victim);
+        let mut steps = 0;
+        while interp.step(&mut cpu) {
+            steps += 1;
+            assert!(steps < 100, "must terminate");
+        }
+        // Two branches per loop iteration (secret je + back-edge jne).
+        assert_eq!(interp.branch_log().len(), 2 * secret.len());
+    }
+}

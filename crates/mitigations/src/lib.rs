@@ -1,0 +1,45 @@
+//! Mitigations against BranchScope (paper §10) and their evaluation.
+//!
+//! Hardware defenses (§10.2) are [`BpuPolicy`](bscope_uarch::BpuPolicy)
+//! implementations installed on the simulated core:
+//!
+//! * [`RandomizedPhtPolicy`] — per-software-entity PHT index randomization,
+//!   optionally re-keyed periodically;
+//! * [`PartitionedBpuPolicy`] — per-context partitions of the predictor
+//!   tables, removing cross-context collisions entirely;
+//! * [`NoPredictPolicy`] — flagged sensitive branches bypass the predictor
+//!   (static prediction, no BPU updates);
+//! * [`StochasticFsmPolicy`] — randomly suppressed FSM updates, the
+//!   "more stochastic" prediction FSM of §10.2;
+//! * noisy counters/timers via
+//!   [`MeasurementFuzz`] (re-exported);
+//! * [`AttackDetector`] — the §10.2 detection class: flags the spy's
+//!   pathological misprediction footprint from performance counters.
+//!
+//! The software defense (§10.1) is [`IfConvertedVictim`]: a victim whose
+//! secret-dependent branch has been compiled into a `cmov`, executing no
+//! conditional branch at all.
+//!
+//! [`evaluate`] runs the covert-channel benchmark under a mitigation and
+//! reports the residual error rate — an unprotected channel reads with
+//! <1 % error; a dead channel sits at ≈50 % (coin flipping).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod eval;
+mod if_conversion;
+mod no_predict;
+mod partitioned;
+mod randomized_pht;
+mod stochastic_fsm;
+
+pub use bscope_uarch::MeasurementFuzz;
+pub use detector::{AttackDetector, DetectionSample};
+pub use eval::{benign_overhead, evaluate, EvalReport, Mitigation};
+pub use if_conversion::IfConvertedVictim;
+pub use no_predict::NoPredictPolicy;
+pub use partitioned::PartitionedBpuPolicy;
+pub use randomized_pht::RandomizedPhtPolicy;
+pub use stochastic_fsm::StochasticFsmPolicy;

@@ -1,0 +1,31 @@
+//! Operating-system model for the BranchScope reproduction.
+//!
+//! The paper's threat model (§3) needs three things from the system layer:
+//!
+//! 1. **Co-residency** — victim and spy share a physical core and therefore
+//!    a BPU. [`System`] owns one [`SimCore`](bscope_uarch::SimCore) and hands
+//!    out per-process [`CpuView`]s onto it.
+//! 2. **Victim slowdown** — the spy must interleave prime → one victim
+//!    branch → probe. [`SlowdownScheduler`] models the Gullasch-style
+//!    scheduler abuse the paper cites; SGX attackers get exact
+//!    single-stepping via [`EnclaveController`].
+//! 3. **Triggering victim execution** — workloads implement [`Workload`]
+//!    and are stepped explicitly by the scheduler or controller.
+//!
+//! It also models the paper's two measurement environments: a noisy
+//! multi-tasking system (SMT sibling activity, Tables 2) and an
+//! attacker-controlled OS attacking an SGX enclave where the noise can be
+//! suppressed (§9, Table 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod process;
+mod sched;
+mod sgx;
+mod system;
+
+pub use process::{AslrPolicy, Pid, Process, Workload};
+pub use sched::{ScheduleTrace, SlowdownScheduler};
+pub use sgx::{Enclave, EnclaveController, SgxError};
+pub use system::{CpuView, SharedSystem, System};

@@ -1,0 +1,255 @@
+//! SGX enclave model with an attacker-controlled operating system.
+
+use crate::process::{AslrPolicy, Pid, Workload};
+use crate::system::System;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from interacting with an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SgxError {
+    /// Direct access to enclave memory was attempted from outside.
+    ProtectedMemory,
+    /// The enclave program already ran to completion.
+    Finished,
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SgxError::ProtectedMemory => "enclave memory is protected from outside access",
+            SgxError::Finished => "enclave program has finished",
+        })
+    }
+}
+
+impl Error for SgxError {}
+
+/// An SGX-style enclave: a program whose memory the rest of the system
+/// cannot read, running co-resident on the shared core.
+///
+/// SGX protects enclave *memory* (§9.1) but "many CPU hardware resources
+/// still remain shared between enclave and non-enclave code" — including
+/// the BPU, which is exactly what BranchScope exploits. The enclave's
+/// secret lives inside the `Workload`; the only architectural output the
+/// outside world gets is [`SgxError::ProtectedMemory`].
+#[derive(Debug)]
+pub struct Enclave<W> {
+    pid: Pid,
+    program: W,
+    steps_executed: usize,
+    finished: bool,
+}
+
+impl<W: Workload> Enclave<W> {
+    /// Launches `program` inside a new enclave on `sys`.
+    pub fn launch(sys: &mut System, name: &str, program: W) -> Self {
+        let pid = sys.spawn(name, AslrPolicy::Disabled);
+        Enclave { pid, program, steps_executed: 0, finished: false }
+    }
+
+    /// The process id backing this enclave.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Whether the enclave program has run to completion.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total steps executed so far.
+    #[must_use]
+    pub fn steps_executed(&self) -> usize {
+        self.steps_executed
+    }
+
+    /// Attempting to read enclave memory from outside always fails — the
+    /// access-control guarantee that makes the *microarchitectural* channel
+    /// the only way in.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`SgxError::ProtectedMemory`].
+    pub fn read_memory(&self, _addr: u64) -> Result<u8, SgxError> {
+        Err(SgxError::ProtectedMemory)
+    }
+
+    fn step(&mut self, sys: &mut System) -> bool {
+        if self.finished {
+            return false;
+        }
+        let mut cpu = sys.cpu(self.pid);
+        let more = self.program.step(&mut cpu);
+        self.steps_executed += 1;
+        self.finished = !more;
+        more
+    }
+}
+
+/// The malicious operating system of the SGX threat model (§9.2).
+///
+/// "The control over the OS gives the attacker unique capabilities":
+/// configure the APIC so the enclave is interrupted after a chosen number
+/// of instructions (precise single-stepping, as in branch-shadowing
+/// attacks), and suppress all other activity on the core ("SGX isolated"
+/// rows of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveController {
+    interrupt_interval: usize,
+}
+
+impl EnclaveController {
+    /// A controller interrupting the enclave after every step — the
+    /// high-resolution configuration the attack uses.
+    #[must_use]
+    pub fn new() -> Self {
+        EnclaveController { interrupt_interval: 1 }
+    }
+
+    /// Configures the APIC-style timer to interrupt after `steps` enclave
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn set_interrupt_interval(&mut self, steps: usize) {
+        assert!(steps > 0, "interrupt interval must be at least one step");
+        self.interrupt_interval = steps;
+    }
+
+    /// Current interrupt interval.
+    #[must_use]
+    pub fn interrupt_interval(&self) -> usize {
+        self.interrupt_interval
+    }
+
+    /// Resumes the enclave until the next interrupt (or completion).
+    /// Returns the number of steps that actually ran.
+    pub fn resume<W: Workload>(&self, sys: &mut System, enclave: &mut Enclave<W>) -> usize {
+        let mut steps = 0;
+        while steps < self.interrupt_interval && !enclave.finished {
+            enclave.step(sys);
+            steps += 1;
+        }
+        steps
+    }
+
+    /// The attacker-controlled OS prevents other processes from running —
+    /// removing the noise source entirely (Table 3, "SGX isolated").
+    pub fn suppress_noise(&self, sys: &mut System) {
+        sys.set_noise(None);
+    }
+}
+
+impl Default for EnclaveController {
+    fn default() -> Self {
+        EnclaveController::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::CpuView;
+    use bscope_bpu::{MicroarchProfile, Outcome, PhtState};
+    use bscope_uarch::NoiseConfig;
+
+    struct SecretSender {
+        bits: Vec<bool>,
+        next: usize,
+    }
+
+    impl Workload for SecretSender {
+        fn step(&mut self, cpu: &mut CpuView<'_>) -> bool {
+            if self.next >= self.bits.len() {
+                return false;
+            }
+            cpu.branch_at(0x6d, Outcome::from_bool(self.bits[self.next]));
+            self.next += 1;
+            self.next < self.bits.len()
+        }
+    }
+
+    #[test]
+    fn memory_is_protected() {
+        let mut sys = System::new(MicroarchProfile::skylake(), 1);
+        let enclave = Enclave::launch(&mut sys, "enclave", SecretSender {
+            bits: vec![true],
+            next: 0,
+        });
+        assert_eq!(enclave.read_memory(0x1000), Err(SgxError::ProtectedMemory));
+    }
+
+    #[test]
+    fn controller_single_steps_enclave() {
+        let mut sys = System::new(MicroarchProfile::skylake(), 2);
+        let mut enclave = Enclave::launch(&mut sys, "enclave", SecretSender {
+            bits: vec![true, false, true],
+            next: 0,
+        });
+        let ctrl = EnclaveController::new();
+        assert_eq!(ctrl.resume(&mut sys, &mut enclave), 1);
+        assert_eq!(enclave.steps_executed(), 1);
+        assert!(!enclave.finished());
+    }
+
+    #[test]
+    fn enclave_branches_leak_into_shared_bpu() {
+        // The whole point: enclave executes secret-dependent branches, and
+        // their effect is visible in the shared PHT from outside.
+        let mut sys = System::new(MicroarchProfile::skylake(), 3);
+        let mut enclave = Enclave::launch(&mut sys, "enclave", SecretSender {
+            bits: vec![true, true, true],
+            next: 0,
+        });
+        let ctrl = EnclaveController::new();
+        while !enclave.finished() {
+            if ctrl.resume(&mut sys, &mut enclave) == 0 {
+                break;
+            }
+        }
+        let addr = sys.process(enclave.pid()).vaddr_of(0x6d);
+        assert_eq!(sys.core().bpu().bimodal_state(addr), PhtState::StronglyTaken);
+    }
+
+    #[test]
+    fn suppress_noise_silences_background() {
+        let mut sys =
+            System::new(MicroarchProfile::skylake(), 4).with_noise(NoiseConfig::heavy());
+        let p = sys.spawn("spy", AslrPolicy::Disabled);
+        EnclaveController::new().suppress_noise(&mut sys);
+        let before = sys.core().bpu().stats().branches;
+        for i in 0..100 {
+            sys.cpu(p).branch_at(i * 3, Outcome::Taken);
+        }
+        let executed = sys.core().bpu().stats().branches - before;
+        assert_eq!(executed, 100, "no noise branches once suppressed");
+    }
+
+    #[test]
+    fn interval_validation() {
+        let mut ctrl = EnclaveController::new();
+        ctrl.set_interrupt_interval(5);
+        assert_eq!(ctrl.interrupt_interval(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_interval_rejected() {
+        EnclaveController::new().set_interrupt_interval(0);
+    }
+
+    #[test]
+    fn resume_on_finished_enclave_is_zero() {
+        let mut sys = System::new(MicroarchProfile::skylake(), 5);
+        let mut enclave =
+            Enclave::launch(&mut sys, "enclave", SecretSender { bits: vec![true], next: 0 });
+        let ctrl = EnclaveController::new();
+        assert_eq!(ctrl.resume(&mut sys, &mut enclave), 1, "the last step is counted");
+        assert!(enclave.finished());
+        assert_eq!(ctrl.resume(&mut sys, &mut enclave), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! The simulated core.
+
+use crate::counters::PerfCounters;
+use crate::event::BranchEvent;
+use crate::icache::InstructionCache;
+use crate::noise::NoiseConfig;
+use crate::policy::{BpuPolicy, MeasurementFuzz, NoPolicy};
+use crate::timing::TimingModel;
+use bscope_bpu::{HybridPredictor, MicroarchProfile, Outcome, Prediction, PredictorKind, VirtAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a hardware context (logical CPU / process) on the core.
+///
+/// Performance counters are kept per context, as on real hardware; the
+/// predictor structures are shared by all contexts, which is the entire
+/// premise of the attack.
+pub type ContextId = u32;
+
+/// Context id of the background-noise (SMT sibling) activity.
+pub const NOISE_CTX: ContextId = ContextId::MAX;
+
+/// A simulated physical core: one shared branch prediction unit, a cycle
+/// clock, an instruction cache, per-context performance counters and an
+/// optional background-noise context (the SMT sibling).
+///
+/// All stochastic behaviour (latency jitter, noise) flows from the seed
+/// passed to [`SimCore::new`], so every experiment is reproducible.
+///
+/// # Example
+///
+/// ```
+/// use bscope_bpu::{MicroarchProfile, Outcome};
+/// use bscope_uarch::SimCore;
+///
+/// let mut core = SimCore::new(MicroarchProfile::haswell(), 1);
+/// let before = core.counters(0);
+/// core.execute_branch(0x40_0000, Outcome::Taken);
+/// let delta = core.counters(0).since(&before);
+/// assert_eq!(delta.branches_retired, 1);
+/// ```
+#[derive(Debug)]
+pub struct SimCore {
+    bpu: HybridPredictor,
+    timing: TimingModel,
+    icache: InstructionCache,
+    counters: Vec<PerfCounters>,
+    tsc: u64,
+    last_noise_tsc: u64,
+    rng: StdRng,
+    noise: Option<NoiseConfig>,
+    policy: Box<dyn BpuPolicy>,
+    fuzz: Option<MeasurementFuzz>,
+}
+
+impl SimCore {
+    /// Creates a core for the given microarchitecture, with all randomness
+    /// derived from `seed`.
+    #[must_use]
+    pub fn new(profile: MicroarchProfile, seed: u64) -> Self {
+        let timing = TimingModel::new(profile.timing);
+        SimCore {
+            bpu: HybridPredictor::new(profile),
+            timing,
+            icache: InstructionCache::l1i_default(),
+            counters: vec![PerfCounters::new(); 2],
+            tsc: 0,
+            last_noise_tsc: 0,
+            rng: StdRng::seed_from_u64(seed),
+            noise: None,
+            policy: Box::new(NoPolicy),
+            fuzz: None,
+        }
+    }
+
+    /// Installs a hardware mitigation policy (see [`BpuPolicy`]); the
+    /// default is the unmitigated machine.
+    pub fn set_policy(&mut self, policy: Box<dyn BpuPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Installs measurement-channel fuzzing (noisy counters/timers, §10.2),
+    /// or removes it with `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MeasurementFuzz::validate`].
+    pub fn set_measurement_fuzz(&mut self, fuzz: Option<MeasurementFuzz>) {
+        if let Some(f) = &fuzz {
+            f.validate().expect("invalid measurement fuzz");
+        }
+        self.fuzz = fuzz;
+    }
+
+    /// Enables background (SMT sibling) noise; pass `None` to disable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NoiseConfig::validate`].
+    pub fn set_noise(&mut self, noise: Option<NoiseConfig>) {
+        if let Some(cfg) = &noise {
+            cfg.validate().expect("invalid noise configuration");
+        }
+        self.noise = noise;
+    }
+
+    /// Builder-style variant of [`SimCore::set_noise`].
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.set_noise(Some(noise));
+        self
+    }
+
+    /// The microarchitecture profile of this core.
+    #[must_use]
+    pub fn profile(&self) -> &MicroarchProfile {
+        self.bpu.profile()
+    }
+
+    /// Read access to the shared branch prediction unit.
+    #[must_use]
+    pub fn bpu(&self) -> &HybridPredictor {
+        &self.bpu
+    }
+
+    /// Exclusive access to the shared branch prediction unit (mitigations,
+    /// reverse-engineering tooling and tests use this).
+    #[must_use]
+    pub fn bpu_mut(&mut self) -> &mut HybridPredictor {
+        &mut self.bpu
+    }
+
+    /// Exclusive access to the instruction cache.
+    #[must_use]
+    pub fn icache_mut(&mut self) -> &mut InstructionCache {
+        &mut self.icache
+    }
+
+    /// Current value of the timestamp counter (`rdtscp`, §8). Reading it is
+    /// free in the model; measurement overhead is folded into branch
+    /// latencies, as in the paper's measurements.
+    #[must_use]
+    pub fn rdtscp(&self) -> u64 {
+        self.tsc
+    }
+
+    /// Performance counters of context `ctx` (zero-extended for contexts
+    /// that have not executed yet).
+    #[must_use]
+    pub fn counters(&self, ctx: ContextId) -> PerfCounters {
+        self.counters.get(ctx as usize).copied().unwrap_or_default()
+    }
+
+    /// Advances the cycle clock without executing branches (models `nop`
+    /// padding, `usleep`, or victim non-branch work). Background activity
+    /// keeps running during the elapsed time — the spy's wait for the
+    /// victim is exactly when the shared BPU is most exposed to noise.
+    pub fn advance_cycles(&mut self, cycles: u64) {
+        self.tsc += cycles;
+        self.inject_pending_noise();
+    }
+
+    /// Executes one conditional branch in context 0 with the fall-through
+    /// target convention. The common single-context entry point.
+    pub fn execute_branch(&mut self, addr: VirtAddr, outcome: Outcome) -> BranchEvent {
+        self.execute_branch_in(0, addr, outcome, None)
+    }
+
+    /// Executes one conditional branch in an explicit context.
+    ///
+    /// Injects pending background noise first (if configured), then runs
+    /// the branch through the shared BPU, charges its latency on the cycle
+    /// clock and records it in `ctx`'s performance counters.
+    pub fn execute_branch_in(
+        &mut self,
+        ctx: ContextId,
+        addr: VirtAddr,
+        outcome: Outcome,
+        target: Option<VirtAddr>,
+    ) -> BranchEvent {
+        self.inject_pending_noise();
+        self.execute_branch_quiet(ctx, addr, outcome, target)
+    }
+
+    /// Executes a branch *without* triggering noise injection. Used for the
+    /// noise branches themselves and by schedulers that manage interleaving
+    /// explicitly.
+    pub fn execute_branch_quiet(
+        &mut self,
+        ctx: ContextId,
+        addr: VirtAddr,
+        outcome: Outcome,
+        target: Option<VirtAddr>,
+    ) -> BranchEvent {
+        let cold = !self.icache.touch(addr);
+        let (prediction, mispredicted) = if self.policy.bypass_prediction(ctx, addr) {
+            // §10.2 "removing prediction for sensitive branches": static
+            // not-taken prediction, no BPU state touched.
+            let prediction = Prediction {
+                direction: Outcome::NotTaken,
+                used: PredictorKind::Bimodal,
+                bimodal: Outcome::NotTaken,
+                gshare: Outcome::NotTaken,
+                btb_hit: false,
+                target: None,
+            };
+            (prediction, outcome.is_taken())
+        } else {
+            let indexed = self.policy.index_addr(ctx, addr);
+            if self.policy.suppress_update(ctx, addr) {
+                // Stochastic-FSM defense: predict normally, skip the state
+                // transition for this dynamic branch.
+                let prediction = self.bpu.predict(indexed);
+                (prediction, prediction.direction != outcome)
+            } else {
+                let (prediction, correct) = self.bpu.execute(indexed, outcome, target);
+                (prediction, !correct)
+            }
+        };
+        self.policy.on_branch(self.tsc);
+        // `latency` is what an rdtscp pair around this branch would report
+        // (Fig. 7); the core clock advances by the much smaller throughput
+        // cost of straight-line execution.
+        let taken_btb_miss = outcome.is_taken() && !prediction.btb_hit;
+        let mut latency =
+            self.timing.sample_with_btb(&mut self.rng, mispredicted, cold, taken_btb_miss);
+        self.tsc += self.timing.advance_with_btb(mispredicted, cold, taken_btb_miss);
+        let mut recorded_miss = mispredicted;
+        if let Some(fuzz) = self.fuzz {
+            latency = fuzz.fuzz_latency(&mut self.rng, latency);
+            recorded_miss = fuzz.fuzz_miss(&mut self.rng, mispredicted);
+        }
+        let slot = ctx as usize;
+        if slot >= self.counters.len() {
+            self.counters.resize(slot + 1, PerfCounters::new());
+        }
+        self.counters[slot].record_branch(recorded_miss, latency);
+        BranchEvent { addr, outcome, prediction, mispredicted: recorded_miss, latency, cold }
+    }
+
+    /// Injects `n` background branches immediately (regardless of the
+    /// configured rate). Returns how many were injected.
+    ///
+    /// Background branches share the BPU but are executed by the sibling
+    /// hardware thread: they appear in no foreground context's counters and
+    /// their latency does not advance the foreground clock.
+    pub fn inject_noise_burst(&mut self, n: usize) -> usize {
+        let Some(cfg) = self.noise.clone() else { return 0 };
+        for _ in 0..n {
+            let addr = self.rng.gen_range(cfg.addr_range.clone());
+            let outcome = Outcome::from_bool(self.rng.gen_bool(cfg.taken_bias));
+            let indexed = self.policy.index_addr(NOISE_CTX, addr);
+            self.bpu.execute(indexed, outcome, None);
+        }
+        n
+    }
+
+    fn inject_pending_noise(&mut self) {
+        let Some(cfg) = self.noise.clone() else {
+            self.last_noise_tsc = self.tsc;
+            return;
+        };
+        let elapsed = self.tsc - self.last_noise_tsc;
+        self.last_noise_tsc = self.tsc;
+        if elapsed == 0 {
+            return;
+        }
+        let lambda = cfg.branches_per_kcycle * elapsed as f64 / 1_000.0;
+        let n = poisson(&mut self.rng, lambda);
+        if n > 0 {
+            self.inject_noise_burst(n);
+        }
+    }
+
+    /// Fresh deterministic RNG stream derived from the core's seed stream,
+    /// for experiment code that needs auxiliary randomness.
+    pub fn fork_rng(&mut self) -> StdRng {
+        StdRng::seed_from_u64(self.rng.gen())
+    }
+}
+
+/// Poisson sampler: Knuth's method for small rates, a Gaussian
+/// approximation for large ones (where Knuth's product underflows).
+fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 64.0 {
+        let n = lambda + lambda.sqrt() * crate::timing::gaussian(rng);
+        return n.max(0.0).round() as usize;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // Defensive cap; unreachable for sane lambda.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bscope_bpu::PhtState;
+
+    fn core() -> SimCore {
+        SimCore::new(MicroarchProfile::haswell(), 99)
+    }
+
+    #[test]
+    fn counters_are_per_context() {
+        let mut c = core();
+        c.execute_branch_in(0, 0x1000, Outcome::Taken, None);
+        c.execute_branch_in(1, 0x2000, Outcome::Taken, None);
+        c.execute_branch_in(1, 0x2000, Outcome::Taken, None);
+        assert_eq!(c.counters(0).branches_retired, 1);
+        assert_eq!(c.counters(1).branches_retired, 2);
+        assert_eq!(c.counters(7).branches_retired, 0);
+    }
+
+    #[test]
+    fn tsc_advances_with_execution() {
+        let mut c = core();
+        let t0 = c.rdtscp();
+        c.execute_branch(0x1000, Outcome::Taken);
+        assert!(c.rdtscp() > t0);
+        let t1 = c.rdtscp();
+        c.advance_cycles(500);
+        assert_eq!(c.rdtscp(), t1 + 500);
+    }
+
+    #[test]
+    fn shared_bpu_couples_contexts() {
+        // Context 1 trains a branch; context 0 observes the trained state at
+        // an aliasing address — the attack's collision premise.
+        let mut c = core();
+        for _ in 0..3 {
+            c.execute_branch_in(1, 0x30_0000, Outcome::Taken, None);
+        }
+        let pht_size = c.profile().pht_size as u64;
+        assert_eq!(c.bpu().bimodal_state(0x30_0000 + pht_size), PhtState::StronglyTaken);
+    }
+
+    #[test]
+    fn noise_perturbs_bpu_but_not_counters() {
+        let mut c = core().with_noise(NoiseConfig::heavy());
+        let before_btb = c.bpu().btb().occupancy();
+        for i in 0..200 {
+            c.execute_branch(0x5000 + i * 7, Outcome::NotTaken);
+        }
+        assert!(
+            c.bpu().btb().occupancy() > before_btb,
+            "noise must install BTB entries"
+        );
+        // Foreground executed 200 branches; noise must not inflate that.
+        assert_eq!(c.counters(0).branches_retired, 200);
+    }
+
+    #[test]
+    fn noise_burst_requires_configuration() {
+        let mut c = core();
+        assert_eq!(c.inject_noise_burst(10), 0, "no noise configured");
+        c.set_noise(Some(NoiseConfig::system_activity()));
+        assert_eq!(c.inject_noise_burst(10), 10);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut c = SimCore::new(MicroarchProfile::skylake(), seed)
+                .with_noise(NoiseConfig::system_activity());
+            (0..100)
+                .map(|i| c.execute_branch(0x9000 + i * 3, Outcome::from_bool(i % 3 == 0)).latency)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn first_execution_is_cold() {
+        let mut c = core();
+        assert!(c.execute_branch(0x8000, Outcome::Taken).cold);
+        assert!(!c.execute_branch(0x8000, Outcome::Taken).cold);
+    }
+
+    #[test]
+    fn misprediction_reported_and_counted() {
+        let mut c = core();
+        // Train strongly taken, then surprise with not-taken.
+        for _ in 0..3 {
+            c.execute_branch(0x700, Outcome::Taken);
+        }
+        let before = c.counters(0);
+        let ev = c.execute_branch(0x700, Outcome::NotTaken);
+        assert!(ev.mispredicted);
+        assert_eq!(c.counters(0).since(&before).branch_misses, 1);
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, 2.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "poisson mean {mean}");
+    }
+}

@@ -1,0 +1,135 @@
+//! A direct-mapped instruction cache model.
+
+use bscope_bpu::VirtAddr;
+
+/// Direct-mapped instruction cache tracking which code lines are resident.
+///
+/// Only *presence* matters for the reproduction: the paper's timing attack
+/// (§8) executes "each branch instance two times, but only record\[s\] the
+/// latency during the second execution, after the instruction has been
+/// placed in the cache". The first touch of a line is reported cold; the
+/// model feeds that into [`TimingModel`](crate::TimingModel).
+#[derive(Debug, Clone)]
+pub struct InstructionCache {
+    tags: Vec<Option<u64>>,
+    line_shift: u32,
+    index_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl InstructionCache {
+    /// Cache line size in bytes (x86: 64).
+    pub const LINE_BYTES: u64 = 64;
+
+    /// Creates a cache of `lines` lines of 64 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or not a power of two.
+    #[must_use]
+    pub fn new(lines: usize) -> Self {
+        assert!(lines.is_power_of_two(), "line count must be a power of two, got {lines}");
+        InstructionCache {
+            tags: vec![None; lines],
+            line_shift: Self::LINE_BYTES.trailing_zeros(),
+            index_mask: (lines - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A 512-line (32 KiB) L1i, the geometry of all three paper machines.
+    #[must_use]
+    pub fn l1i_default() -> Self {
+        InstructionCache::new(512)
+    }
+
+    fn index_and_tag(&self, addr: VirtAddr) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.index_mask) as usize, line >> self.index_mask.count_ones())
+    }
+
+    /// Accesses the line containing `addr`, filling it on a miss.
+    /// Returns `true` on a hit (the line was already resident).
+    pub fn touch(&mut self, addr: VirtAddr) -> bool {
+        let (idx, tag) = self.index_and_tag(addr);
+        let hit = self.tags[idx] == Some(tag);
+        self.tags[idx] = Some(tag);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Whether the line containing `addr` is resident, without touching it.
+    #[must_use]
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        let (idx, tag) = self.index_and_tag(addr);
+        self.tags[idx] == Some(tag)
+    }
+
+    /// Flushes the whole cache (e.g. on a simulated context switch with a
+    /// hostile OS, §9.2).
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// (hits, misses) counted since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl Default for InstructionCache {
+    fn default() -> Self {
+        InstructionCache::l1i_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut ic = InstructionCache::new(64);
+        assert!(!ic.touch(0x1000));
+        assert!(ic.touch(0x1000));
+        assert!(ic.touch(0x1001), "same line");
+        assert_eq!(ic.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_lines_are_independent() {
+        let mut ic = InstructionCache::new(64);
+        ic.touch(0);
+        assert!(!ic.touch(64), "next line is cold");
+    }
+
+    #[test]
+    fn aliasing_lines_evict() {
+        let mut ic = InstructionCache::new(64);
+        ic.touch(0);
+        // 64 lines of 64 B: addresses 64*64 bytes apart alias.
+        ic.touch(64 * 64);
+        assert!(!ic.contains(0), "original line evicted by alias");
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut ic = InstructionCache::new(64);
+        ic.touch(0x2000);
+        ic.flush();
+        assert!(!ic.contains(0x2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = InstructionCache::new(100);
+    }
+}

@@ -1,0 +1,109 @@
+//! Background (SMT sibling / system) activity configuration.
+
+use std::ops::Range;
+
+/// Configuration of background branch activity sharing the core's BPU.
+///
+/// Models the two measurement environments of Tables 2 and 3. Background
+/// activity is **time-based**: the sibling context executes unrelated
+/// conditional branches at a mean rate per 1 000 cycles of wall-clock,
+/// regardless of what the foreground thread is doing. The exposure that
+/// matters to the attack is therefore proportional to *elapsed time* — the
+/// randomization block, the spy's `usleep` while waiting for the victim
+/// (Listing 3), and the probe itself — exactly as on real SMT hardware.
+///
+/// Background branches perturb the shared PHT/BTB/GHR but not the
+/// foreground thread's performance counters, which are per-logical-CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Mean background branches per 1 000 cycles (Poisson-distributed).
+    pub branches_per_kcycle: f64,
+    /// Virtual address range the background branches are drawn from.
+    pub addr_range: Range<u64>,
+    /// Probability that a background branch is taken.
+    pub taken_bias: f64,
+}
+
+impl NoiseConfig {
+    /// An ordinary multi-tasking system with the sibling hardware thread
+    /// lightly loaded — the "with noise" rows of Table 2.
+    #[must_use]
+    pub fn system_activity() -> Self {
+        NoiseConfig {
+            branches_per_kcycle: 8.0,
+            addr_range: 0x7f00_0000_0000..0x7f00_0010_0000,
+            taken_bias: 0.55,
+        }
+    }
+
+    /// An isolated physical core: no other user processes, only residual
+    /// kernel activity (timer ticks, IPIs) — the "isolated" rows of
+    /// Table 2, which still show a small non-zero error rate.
+    #[must_use]
+    pub fn isolated_core() -> Self {
+        NoiseConfig { branches_per_kcycle: 3.0, ..NoiseConfig::system_activity() }
+    }
+
+    /// Heavy interference (stress test; beyond the paper's settings).
+    #[must_use]
+    pub fn heavy() -> Self {
+        NoiseConfig { branches_per_kcycle: 40.0, ..NoiseConfig::system_activity() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.branches_per_kcycle.is_finite() || self.branches_per_kcycle < 0.0 {
+            return Err(format!(
+                "branches_per_kcycle {} must be finite and >= 0",
+                self.branches_per_kcycle
+            ));
+        }
+        if self.addr_range.is_empty() {
+            return Err("addr_range must be non-empty".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.taken_bias) {
+            return Err(format!("taken_bias {} must be in [0,1]", self.taken_bias));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_order_sensibly() {
+        for cfg in [NoiseConfig::system_activity(), NoiseConfig::isolated_core(), NoiseConfig::heavy()]
+        {
+            cfg.validate().unwrap();
+        }
+        assert!(
+            NoiseConfig::isolated_core().branches_per_kcycle
+                < NoiseConfig::system_activity().branches_per_kcycle
+        );
+        assert!(
+            NoiseConfig::system_activity().branches_per_kcycle
+                < NoiseConfig::heavy().branches_per_kcycle
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut c = NoiseConfig::system_activity();
+        c.branches_per_kcycle = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = NoiseConfig::system_activity();
+        c.addr_range = 5..5;
+        assert!(c.validate().is_err());
+
+        let mut c = NoiseConfig::system_activity();
+        c.taken_bias = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

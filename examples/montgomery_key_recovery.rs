@@ -1,0 +1,45 @@
+//! Full key recovery from a Montgomery-ladder modular exponentiation
+//! (paper §9.2): the ladder balances its *work* across key bits — defeating
+//! classic timing attacks — but still branches on each bit, and BranchScope
+//! reads those branches directly.
+//!
+//! ```text
+//! cargo run --release --example montgomery_key_recovery
+//! ```
+
+use branchscope::attack::{AttackConfig, BranchScope};
+use branchscope::bpu::MicroarchProfile;
+use branchscope::os::{AslrPolicy, System, Workload};
+use branchscope::uarch::NoiseConfig;
+use branchscope::victims::{mod_exp, MontgomeryLadder, VICTIM_BRANCH_OFFSET};
+
+fn main() {
+    let profile = MicroarchProfile::haswell();
+    let mut sys = System::new(profile.clone(), 7).with_noise(NoiseConfig::isolated_core());
+    let victim = sys.spawn("crypto-victim", AslrPolicy::Disabled);
+    let spy = sys.spawn("spy", AslrPolicy::Disabled);
+    let target = sys.process(victim).vaddr_of(VICTIM_BRANCH_OFFSET);
+
+    let key: u64 = 0xC0FF_EE00_DEAD_BEEF;
+    let modulus: u64 = 0xFFFF_FFFF_FFC5;
+    let mut ladder = MontgomeryLadder::new(0x1_0001, key, modulus);
+    println!("victim computes base^key mod m with a {}-bit secret key", ladder.key_bits());
+
+    let mut attack =
+        BranchScope::new(AttackConfig::for_profile(&profile)).expect("valid configuration");
+    let reads = attack.read_bits(&mut sys, spy, target, ladder.key_bits(), |sys, _| {
+        // The slowed-down victim advances exactly one ladder step (one key
+        // bit) per attack round.
+        let mut cpu = sys.cpu(victim);
+        ladder.step(&mut cpu);
+    });
+
+    let recovered = MontgomeryLadder::key_from_outcomes(&reads);
+    println!("secret key   : {key:#018x}");
+    println!("recovered key: {recovered:#018x}");
+    println!("bit errors   : {}", (key ^ recovered).count_ones());
+
+    // The victim's computation itself is untouched by the attack.
+    assert_eq!(ladder.result(), Some(mod_exp(0x1_0001, key, modulus)));
+    println!("victim's exponentiation result verified against square-and-multiply");
+}

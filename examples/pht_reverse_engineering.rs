@@ -1,0 +1,38 @@
+//! Reverse engineering the PHT from user space (paper §6.3, Fig. 5):
+//! decode the state behind a range of addresses, then find the table size
+//! as the window at which the state vector repeats (Eqs. 1–4).
+//!
+//! ```text
+//! cargo run --release --example pht_reverse_engineering
+//! ```
+
+use branchscope::attack::reverse::{candidate_windows, discover_pht_size, scan_states};
+use branchscope::attack::RandomizationBlock;
+use branchscope::bpu::MicroarchProfile;
+use branchscope::os::{AslrPolicy, System};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let profile = MicroarchProfile::skylake();
+    let true_size = profile.pht_size;
+    let mut sys = System::new(profile.clone(), 4096);
+    let spy = sys.spawn("spy", AslrPolicy::Disabled);
+
+    // One fixed randomization block, replayed to restore the same PHT image
+    // before every wrap of the scan.
+    let block = RandomizationBlock::generate(17, true_size * 14, 0x70_0000);
+    println!("scanning {} addresses…", 4 * true_size);
+    let states = scan_states(&mut sys, spy, &block, 0x30_0000, 4 * true_size);
+
+    let windows = candidate_windows(states.len(), true_size, 40);
+    let mut rng = StdRng::seed_from_u64(5);
+    let discovery = discover_pht_size(&states, &windows, 100, &mut rng);
+
+    println!("H(w)/w for power-of-two windows:");
+    for &(w, r) in discovery.ratios.iter().filter(|(w, _)| w.is_power_of_two()) {
+        println!("  w = {w:>6}: {r:.4}");
+    }
+    println!("inferred PHT size: {} entries (machine truth: {true_size})", discovery.inferred_size);
+    assert_eq!(discovery.inferred_size, true_size);
+}

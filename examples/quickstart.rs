@@ -1,0 +1,37 @@
+//! Quickstart: read one secret branch direction with BranchScope.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use branchscope::attack::{AttackConfig, BranchScope};
+use branchscope::bpu::{MicroarchProfile, Outcome};
+use branchscope::os::{AslrPolicy, System};
+
+fn main() {
+    // A Skylake-like machine with a victim and a spy sharing its core.
+    let profile = MicroarchProfile::skylake();
+    let mut sys = System::new(profile.clone(), 42);
+    let victim = sys.spawn("victim", AslrPolicy::Disabled);
+    let spy = sys.spawn("spy", AslrPolicy::Disabled);
+
+    // The spy knows the victim binary, so it knows the code offset of the
+    // secret-dependent branch (paper Listing 2: <victim_f+0x6d>).
+    let target = sys.process(victim).vaddr_of(0x6d);
+    println!("attacking victim branch at {target:#x} on {}", profile.arch);
+
+    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))
+        .expect("canonical SN/TT configuration is valid");
+
+    for secret in [Outcome::Taken, Outcome::NotTaken, Outcome::Taken, Outcome::Taken] {
+        // Stage 1 (prime) and stage 3 (probe) happen inside read_bit;
+        // stage 2 is the trigger closure, which makes the slowed-down
+        // victim execute its branch exactly once.
+        let read = attack.read_bit(&mut sys, spy, target, |sys| {
+            sys.cpu(victim).branch_at(0x6d, secret);
+        });
+        println!("victim executed {secret:<9} -> spy decoded {read}");
+        assert_eq!(read, secret);
+    }
+    println!("all bits recovered correctly");
+}
