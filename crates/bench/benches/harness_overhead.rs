@@ -1,0 +1,53 @@
+//! Trial-runner overhead: `bscope_harness::run_trials` against a raw
+//! sequential loop over the same per-trial work, at several trial costs.
+//!
+//! The interesting question is where the runner's fixed cost (thread
+//! spawn, slot collection) stops mattering: for trials in the microsecond
+//! range and up — every real experiment trial is milliseconds — the
+//! overhead is noise and the multi-thread configurations show the actual
+//! speedup headroom.
+
+use bscope_harness::{run_trials, splitmix64, trial_seed};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Simulated per-trial work: `rounds` SplitMix64 iterations (~1 ns each).
+fn work(seed: u64, rounds: u64) -> u64 {
+    let mut acc = seed;
+    for _ in 0..rounds {
+        acc = splitmix64(acc);
+    }
+    acc
+}
+
+fn runner_vs_sequential(c: &mut Criterion) {
+    const TRIALS: usize = 256;
+    for rounds in [100u64, 10_000, 1_000_000] {
+        let mut group = c.benchmark_group(format!("run_trials/{rounds}_rounds_per_trial"));
+        group.throughput(Throughput::Elements(TRIALS as u64));
+        group.sample_size(10);
+        group.bench_function("raw_sequential_loop", |b| {
+            b.iter(|| {
+                let out: Vec<u64> = (0..TRIALS)
+                    .map(|idx| work(trial_seed(7, idx as u64), rounds))
+                    .collect();
+                black_box(out)
+            })
+        });
+        for threads in [1usize, 2, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("run_trials", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        black_box(run_trials(TRIALS, 7, threads, |_idx, seed| work(seed, rounds)))
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, runner_vs_sequential);
+criterion_main!(benches);

@@ -283,7 +283,7 @@ mod tests {
         // to the address-indexed base table.
         let scramble = |tage: &mut TagePredictor, ghr: &mut GlobalHistoryRegister, k: u64| {
             for i in 0..24u64 {
-                tage.execute(0x7a_0000 + k * 131 + i * 3, ghr, Outcome::from_bool((k + i) % 3 == 0));
+                tage.execute(0x7a_0000 + k * 131 + i * 3, ghr, Outcome::from_bool((k + i).is_multiple_of(3)));
             }
         };
         // Prime: drive the base counter to strongly not-taken.

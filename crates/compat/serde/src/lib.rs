@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` derive surface this workspace uses.
+//!
+//! Model types derive `Serialize`/`Deserialize` so the public API matches
+//! what downstream users expect from the real crate, but nothing in-tree
+//! serialises through serde (the experiments JSON output is hand-rolled).
+//! The traits are therefore markers with blanket impls, and the derives
+//! (re-exported from the in-tree `serde_derive`) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the in-tree `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types for API
+//! compatibility with downstream users, but nothing in-tree performs real
+//! serialisation (the experiments JSON emitter is hand-rolled), so these
+//! derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `Serialize` marker trait has a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `Deserialize` marker trait has a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

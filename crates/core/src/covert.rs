@@ -71,6 +71,29 @@ impl CovertChannel {
         &self.attack
     }
 
+    /// Transmits a bit stream given by `bit_at`, decoding straight into the
+    /// received `Vec<bool>` (no intermediate outcome buffer, no
+    /// materialised repetition-expanded payload).
+    fn transmit_stream(
+        &mut self,
+        sys: &mut System,
+        sender: Pid,
+        receiver: Pid,
+        len: usize,
+        bit_at: impl Fn(usize) -> bool,
+    ) -> (Vec<bool>, u64) {
+        let target = sys.process(sender).vaddr_of(SENDER_BRANCH_OFFSET);
+        let start = sys.core().rdtscp();
+        let mut received = Vec::with_capacity(len);
+        for i in 0..len {
+            let outcome = self.attack.read_bit(sys, receiver, target, |sys| {
+                sys.cpu(sender).branch_at(SENDER_BRANCH_OFFSET, Outcome::from_bool(bit_at(i)));
+            });
+            received.push(outcome.is_taken());
+        }
+        (received, sys.core().rdtscp() - start)
+    }
+
     /// Transmits `bits` from `sender` to `receiver`, bit `true` encoded as
     /// a taken branch.
     pub fn transmit(
@@ -80,17 +103,8 @@ impl CovertChannel {
         receiver: Pid,
         bits: &[bool],
     ) -> TransmitResult {
-        let target = sys.process(sender).vaddr_of(SENDER_BRANCH_OFFSET);
-        let start = sys.core().rdtscp();
-        let received = self
-            .attack
-            .read_bits(sys, receiver, target, bits.len(), |sys, i| {
-                sys.cpu(sender).branch_at(SENDER_BRANCH_OFFSET, Outcome::from_bool(bits[i]));
-            })
-            .into_iter()
-            .map(Outcome::is_taken)
-            .collect();
-        TransmitResult::new(bits, received, sys.core().rdtscp() - start)
+        let (received, cycles) = self.transmit_stream(sys, sender, receiver, bits.len(), |i| bits[i]);
+        TransmitResult::new(bits, received, cycles)
     }
 
     /// Transmits with `n`-fold repetition coding: the sender repeats every
@@ -110,14 +124,13 @@ impl CovertChannel {
         n: usize,
     ) -> TransmitResult {
         assert!(n % 2 == 1, "redundancy must be odd, got {n}");
-        let expanded: Vec<bool> = bits.iter().flat_map(|&b| std::iter::repeat(b).take(n)).collect();
-        let raw = self.transmit(sys, sender, receiver, &expanded);
+        let (raw, cycles) =
+            self.transmit_stream(sys, sender, receiver, bits.len() * n, |i| bits[i / n]);
         let decoded: Vec<bool> = raw
-            .received
             .chunks(n)
             .map(|votes| votes.iter().filter(|&&v| v).count() * 2 > n)
             .collect();
-        TransmitResult::new(bits, decoded, raw.cycles)
+        TransmitResult::new(bits, decoded, cycles)
     }
 
     /// Receives from inside an SGX enclave (§9.2): the enclave runs an

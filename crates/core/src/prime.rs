@@ -115,15 +115,20 @@ impl TargetedPrime {
 
     /// Runs the prime on the spy's view.
     pub fn prime(&mut self, cpu: &mut CpuView<'_>) {
-        let profile = cpu.profile().clone();
-        let btb_alias = self.target + profile.btb_size as u64;
+        // This runs once per transmitted bit; copy out the three scalars
+        // needed rather than cloning the whole profile.
+        let (btb_size, pht_size, counter_kind) = {
+            let profile = cpu.profile();
+            (profile.btb_size, profile.pht_size, profile.counter_kind)
+        };
+        let btb_alias = self.target + btb_size as u64;
 
         // 1. Scramble the global history and pollute the 2-level predictor
         //    with pattern-free branches at varying addresses (avoiding the
         //    target's own PHT entry). This is the scaled-down core of the
         //    paper's Listing 1: random directions with no inter-branch
         //    dependencies, unpredictable for gshare.
-        let pht_mask = (profile.pht_size - 1) as u64;
+        let pht_mask = (pht_size - 1) as u64;
         for _ in 0..self.pollution {
             let r = self.next_rand();
             let mut addr = Self::SCRAMBLE_REGION + (r & 0xffff);
@@ -147,7 +152,7 @@ impl TargetedPrime {
         //    textbook counter saturates from any state in three updates;
         //    Skylake's deeper taken side needs one more (its max level).
         let direction = self.state.predicted();
-        let saturation_steps = bscope_bpu::Counter::new(profile.counter_kind).max_level();
+        let saturation_steps = bscope_bpu::Counter::new(counter_kind).max_level();
         for _ in 0..saturation_steps {
             cpu.branch_at_abs(self.target, direction);
         }
@@ -223,8 +228,10 @@ impl SearchedPrime {
         {
             return false;
         }
-        let mut dominants = Vec::with_capacity(2);
-        for kind in [ProbeKind::TakenTaken, ProbeKind::NotTakenNotTaken] {
+        let mut dominants = [None; 2];
+        for (slot, kind) in
+            dominants.iter_mut().zip([ProbeKind::TakenTaken, ProbeKind::NotTakenNotTaken])
+        {
             let mut dominant = None;
             for _ in 0..trials {
                 block.execute(&mut sys.cpu(spy));
@@ -235,10 +242,12 @@ impl SearchedPrime {
                     Some(_) => {}
                 }
             }
-            dominants.push(dominant.expect("trials > 0"));
+            *slot = dominant;
         }
-        decode_state(profile.counter_kind, dominants[0], dominants[1])
-            == DecodedState::Known(desired)
+        let (Some(tt), Some(nn)) = (dominants[0], dominants[1]) else {
+            return false; // unreachable: trials > 0 is validated by search()
+        };
+        decode_state(profile.counter_kind, tt, nn) == DecodedState::Known(desired)
     }
 
     /// The accepted randomization block.

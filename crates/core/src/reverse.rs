@@ -289,7 +289,7 @@ mod tests {
     fn candidate_windows_contain_powers_and_band() {
         let ws = candidate_windows(65_536, 16_384, 50);
         assert!(ws.contains(&2) && ws.contains(&16_384) && ws.contains(&16_383));
-        assert!(ws.iter().all(|&w| w >= 2 && w <= 32_768));
+        assert!(ws.iter().all(|&w| (2..=32_768).contains(&w)));
     }
 
     #[test]

@@ -127,6 +127,49 @@ impl StateDistribution {
     }
 }
 
+/// Characterises a single randomization block (one point of Fig. 4a): the
+/// block generated from `block_seed`, executed and probed `config.reps`
+/// times per probing variant on the given system.
+///
+/// This is the per-trial unit the parallel experiment harness fans out
+/// over; [`analyze_stability`] is the sequential convenience wrapper.
+pub fn characterize_block(
+    sys: &mut System,
+    spy: Pid,
+    config: &StabilityConfig,
+    block_seed: u64,
+) -> BlockStability {
+    let (pht_size, counter_kind) = {
+        let profile = sys.core().profile();
+        (profile.pht_size, profile.counter_kind)
+    };
+    let block_len = pht_size * config.updates_per_entry.max(1);
+    let block =
+        RandomizationBlock::generate(block_seed, block_len, crate::randomize::DEFAULT_BLOCK_REGION);
+    let mut dominants = [(ProbePattern::HH, 0.0f64); 2];
+    for (slot, kind) in
+        [ProbeKind::TakenTaken, ProbeKind::NotTakenNotTaken].into_iter().enumerate()
+    {
+        let mut counts = [0usize; 4];
+        for _ in 0..config.reps {
+            block.execute(&mut sys.cpu(spy));
+            let pattern = probe_with_counters(&mut sys.cpu(spy), config.probe_addr, kind);
+            let idx = ProbePattern::ALL.iter().position(|&p| p == pattern).expect("in ALL");
+            counts[idx] += 1;
+        }
+        let (best, &n) = counts.iter().enumerate().max_by_key(|&(_, &n)| n).expect("four counts");
+        dominants[slot] = (ProbePattern::ALL[best], n as f64 / config.reps as f64);
+    }
+    let (tt_dominant, tt_frequency) = dominants[0];
+    let (nn_dominant, nn_frequency) = dominants[1];
+    let state = if tt_frequency >= config.threshold && nn_frequency >= config.threshold {
+        decode_state(counter_kind, tt_dominant, nn_dominant)
+    } else {
+        DecodedState::Unknown
+    };
+    BlockStability { block_seed, tt_dominant, tt_frequency, nn_dominant, nn_frequency, state }
+}
+
 /// Runs the Fig. 4 experiment: characterises `config.blocks` randomization
 /// blocks on the given system (enable noise on the system beforehand to
 /// reproduce the paper's environment).
@@ -135,48 +178,9 @@ pub fn analyze_stability(
     spy: Pid,
     config: &StabilityConfig,
 ) -> Vec<BlockStability> {
-    let profile = sys.core().profile().clone();
-    let block_len = profile.pht_size * config.updates_per_entry.max(1);
-    let mut out = Vec::with_capacity(config.blocks);
-    for i in 0..config.blocks {
-        let block_seed = config.seed + i as u64;
-        let block = RandomizationBlock::generate(
-            block_seed,
-            block_len,
-            crate::randomize::DEFAULT_BLOCK_REGION,
-        );
-        let mut dominants = [(ProbePattern::HH, 0.0f64); 2];
-        for (slot, kind) in
-            [ProbeKind::TakenTaken, ProbeKind::NotTakenNotTaken].into_iter().enumerate()
-        {
-            let mut counts = [0usize; 4];
-            for _ in 0..config.reps {
-                block.execute(&mut sys.cpu(spy));
-                let pattern = probe_with_counters(&mut sys.cpu(spy), config.probe_addr, kind);
-                let idx = ProbePattern::ALL.iter().position(|&p| p == pattern).expect("in ALL");
-                counts[idx] += 1;
-            }
-            let (best, &n) =
-                counts.iter().enumerate().max_by_key(|&(_, &n)| n).expect("four counts");
-            dominants[slot] = (ProbePattern::ALL[best], n as f64 / config.reps as f64);
-        }
-        let (tt_dominant, tt_frequency) = dominants[0];
-        let (nn_dominant, nn_frequency) = dominants[1];
-        let state = if tt_frequency >= config.threshold && nn_frequency >= config.threshold {
-            decode_state(profile.counter_kind, tt_dominant, nn_dominant)
-        } else {
-            DecodedState::Unknown
-        };
-        out.push(BlockStability {
-            block_seed,
-            tt_dominant,
-            tt_frequency,
-            nn_dominant,
-            nn_frequency,
-            state,
-        });
-    }
-    out
+    (0..config.blocks)
+        .map(|i| characterize_block(sys, spy, config, config.seed + i as u64))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,4 +1,7 @@
-//! Shared experiment plumbing: scale factors and small output helpers.
+//! Shared experiment plumbing: scale factors, the headline-metric sink
+//! behind `--json`, and small output helpers.
+
+use std::sync::Mutex;
 
 /// Experiment scale: `full()` approaches the paper's sample sizes where
 /// affordable; `quick()` runs everything in seconds for smoke testing.
@@ -8,16 +11,20 @@ pub struct Scale {
     pub quick: bool,
     /// Base seed for all experiment randomness.
     pub seed: u64,
+    /// Worker threads for trial-parallel experiments (`0` = all cores).
+    /// Results are thread-count-invariant (see `bscope-harness`), so this
+    /// only affects wall-clock.
+    pub threads: usize,
 }
 
 impl Scale {
     pub fn full() -> Self {
-        Scale { quick: false, seed: 0xB5C0_9E01 }
+        Scale { quick: false, seed: 0xB5C0_9E01, threads: 0 }
     }
 
     #[allow(dead_code)] // handy for unit-style invocations
     pub fn quick() -> Self {
-        Scale { quick: true, seed: 0xB5C0_9E01 }
+        Scale { quick: true, ..Scale::full() }
     }
 
     /// Picks a sample size by scale.
@@ -28,6 +35,22 @@ impl Scale {
             full
         }
     }
+}
+
+/// Headline metrics reported by experiments since the last [`drain_metrics`]
+/// call; the main loop attaches them to the experiment that just ran when
+/// emitting `--json`.
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Records a headline result (e.g. a table cell or summary fraction) for
+/// the `--json` report. No-op unless drained by the main loop.
+pub fn metric(name: impl Into<String>, value: f64) {
+    METRICS.lock().expect("metrics lock").push((name.into(), value));
+}
+
+/// Takes all metrics recorded since the previous drain.
+pub fn drain_metrics() -> Vec<(String, f64)> {
+    std::mem::take(&mut METRICS.lock().expect("metrics lock"))
 }
 
 /// Simple text bar for terminal "plots".

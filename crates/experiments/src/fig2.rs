@@ -11,7 +11,7 @@ const PATTERN_BITS: usize = 10;
 const ITERATIONS: usize = 20;
 
 fn learning_curve(profile: &MicroarchProfile, runs: usize, seed: u64) -> Vec<f64> {
-    let mut totals = vec![0.0f64; ITERATIONS];
+    let mut totals = [0.0f64; ITERATIONS];
     let mut rng = StdRng::seed_from_u64(seed);
     for run in 0..runs {
         // "We initialize an array of 10 bits to a randomly selected state."

@@ -18,7 +18,7 @@ pub fn run(scale: &Scale) {
     let spy = sys.spawn("spy", AslrPolicy::Disabled);
     // A dense block so (nearly) every entry's post-block state is
     // start-independent; generated once and replayed, per §6.3.
-    let block = RandomizationBlock::generate(scale.seed ^ 0xF1_6,
+    let block = RandomizationBlock::generate(scale.seed ^ 0xF16,
         pht_size * 14, 0x70_0000);
 
     // (a) granularity: 0x300000..0x30010f, as in the paper.

@@ -20,7 +20,7 @@ pub fn run(scale: &Scale) {
     let target = sys.process(sender).vaddr_of(0x6d);
     let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
 
-    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xF16_6);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xF166);
     let original: Vec<bool> = (0..32).map(|_| rng.gen()).collect();
     let mut patterns: Vec<ProbePattern> = Vec::new();
     for &bit in &original {

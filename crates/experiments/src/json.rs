@@ -1,0 +1,126 @@
+//! Hand-rolled JSON report for `--json` (the workspace has no JSON
+//! serialisation dependency, and the format here is flat enough that an
+//! escaping-correct emitter is a dozen lines).
+
+use crate::common::Scale;
+use std::fmt::Write as _;
+
+/// Per-run report: configuration, per-experiment wall-clock and headline
+/// metrics, written as a single JSON object.
+pub struct Report {
+    quick: bool,
+    seed: u64,
+    threads: usize,
+    experiments: Vec<Entry>,
+}
+
+struct Entry {
+    name: String,
+    wall_seconds: f64,
+    metrics: Vec<(String, f64)>,
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number: finite floats as-is, non-finite as null (JSON has no NaN).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl Report {
+    pub fn new(scale: &Scale) -> Self {
+        Report { quick: scale.quick, seed: scale.seed, threads: scale.threads, experiments: Vec::new() }
+    }
+
+    /// Records one finished experiment.
+    pub fn record(&mut self, name: &str, wall_seconds: f64, metrics: Vec<(String, f64)>) {
+        self.experiments.push(Entry { name: name.to_owned(), wall_seconds, metrics });
+    }
+
+    /// Serialises the report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let total: f64 = self.experiments.iter().map(|e| e.wall_seconds).sum();
+        let _ = writeln!(out, "  \"total_wall_seconds\": {},", number(total));
+        out.push_str("  \"experiments\": [");
+        for (i, e) in self.experiments.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", escape(&e.name));
+            let _ = writeln!(out, "      \"wall_seconds\": {},", number(e.wall_seconds));
+            out.push_str("      \"metrics\": {");
+            for (j, (k, v)) in e.metrics.iter().enumerate() {
+                out.push_str(if j == 0 { "\n" } else { ",\n" });
+                let _ = write!(out, "        \"{}\": {}", escape(k), number(*v));
+            }
+            out.push_str(if e.metrics.is_empty() { "}\n" } else { "\n      }\n" });
+            out.push_str("    }");
+        }
+        out.push_str(if self.experiments.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_shape_is_valid_json_by_construction() {
+        let mut scale = Scale::quick();
+        scale.threads = 4;
+        let mut r = Report::new(&scale);
+        r.record("fig4", 1.25, vec![("fig4/stable_fraction".into(), 0.83)]);
+        r.record("empty", 0.5, vec![]);
+        let s = r.to_json();
+        assert!(s.contains("\"threads\": 4"));
+        assert!(s.contains("\"fig4/stable_fraction\": 0.83"));
+        assert!(s.contains("\"wall_seconds\": 1.25"));
+        // Brace/bracket balance as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                s.chars().filter(|&c| c == open).count(),
+                s.chars().filter(|&c| c == close).count()
+            );
+        }
+        assert!(!s.contains("NaN"));
+        assert_eq!(number(f64::NAN), "null");
+    }
+}

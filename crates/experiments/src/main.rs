@@ -2,10 +2,18 @@
 //! the paper's evaluation against the simulated substrate.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] <experiment>...
+//! experiments [--quick] [--seed N] [--threads N] [--json PATH] <experiment>...
 //! experiments all            # everything, paper-scale (minutes)
 //! experiments --quick all    # everything, reduced scale (seconds)
 //! ```
+//!
+//! `--threads N` bounds the worker threads of trial-parallel experiments
+//! (default: all cores). Results are thread-count-invariant — every trial's
+//! seed is derived from the base seed and trial index, never from a worker
+//! (see `bscope-harness`) — so `--threads` only changes wall-clock.
+//!
+//! `--json PATH` writes a machine-readable report: per-experiment
+//! wall-clock seconds and the headline metrics each experiment records.
 
 mod apps;
 mod capacity;
@@ -17,6 +25,7 @@ mod fig6;
 mod fig7;
 mod fig8;
 mod fig9;
+mod json;
 mod mitigation_table;
 mod related;
 mod sensitivity;
@@ -26,7 +35,10 @@ mod table3;
 
 use common::Scale;
 
-const EXPERIMENTS: &[(&str, &str, fn(&Scale))] = &[
+/// (CLI name, description, entry point) for one experiment.
+type Experiment = (&'static str, &'static str, fn(&Scale));
+
+const EXPERIMENTS: &[Experiment] = &[
     ("fig2", "2-level predictor learning curve (Fig. 2)", fig2::run),
     ("table1", "FSM transition / observation table (Table 1)", table1::run),
     ("fig4", "randomization-block stability & state distribution (Fig. 4)", fig4::run),
@@ -45,7 +57,9 @@ const EXPERIMENTS: &[(&str, &str, fn(&Scale))] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--quick] [--seed N] <experiment>|all ...");
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] [--threads N] [--json PATH] <experiment>|all ..."
+    );
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
         eprintln!("  {name:<12} {desc}");
@@ -56,6 +70,7 @@ fn usage() -> ! {
 fn main() {
     let mut scale = Scale::full();
     let mut selected: Vec<&str> = Vec::new();
+    let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +80,15 @@ fn main() {
                 i += 1;
                 let value = args.get(i).unwrap_or_else(|| usage());
                 scale.seed = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                i += 1;
+                let value = args.get(i).unwrap_or_else(|| usage());
+                scale.threads = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
             }
             "--help" | "-h" => usage(),
             name => selected.push(match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
@@ -79,14 +103,27 @@ fn main() {
         usage();
     }
     let run_all = selected.contains(&"all");
+    let mut report = json::Report::new(&scale);
     for (name, desc, run) in EXPERIMENTS {
         if run_all || selected.contains(name) {
             println!("==============================================================");
             println!("{name}: {desc}");
             println!("==============================================================");
+            common::drain_metrics(); // discard anything stale
             let started = std::time::Instant::now();
             run(&scale);
-            println!("[{name} finished in {:.1?}]\n", started.elapsed());
+            let elapsed = started.elapsed();
+            println!("[{name} finished in {elapsed:.1?}]\n");
+            report.record(name, elapsed.as_secs_f64(), common::drain_metrics());
+        }
+    }
+    if let Some(path) = json_path {
+        match report.write_to(&path) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -1,47 +1,72 @@
 //! Table 3: covert channel with the trojan (sender) inside an SGX enclave.
 
-use crate::common::Scale;
+use crate::common::{metric, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::covert::{CovertChannel, EnclaveSender};
 use bscope_core::AttackConfig;
+use bscope_harness::{run_trials, splitmix64};
 use bscope_os::{AslrPolicy, Enclave, EnclaveController, System};
 use bscope_uarch::NoiseConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn sgx_error_rate(
-    noise: Option<NoiseConfig>,
-    payload: fn(usize, &mut StdRng) -> Vec<bool>,
-    bits: usize,
-    runs: usize,
-    seed: u64,
-) -> f64 {
+type PayloadFn = fn(usize, &mut StdRng) -> Vec<bool>;
+
+fn all0(n: usize, _: &mut StdRng) -> Vec<bool> {
+    vec![false; n]
+}
+
+fn all1(n: usize, _: &mut StdRng) -> Vec<bool> {
+    vec![true; n]
+}
+
+fn random(n: usize, rng: &mut StdRng) -> Vec<bool> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// One enclave transmission run; machine and secret derive from `seed`.
+fn one_run(noise: Option<&NoiseConfig>, payload: PayloadFn, bits: usize, seed: u64) -> f64 {
     let profile = MicroarchProfile::skylake();
-    let mut total = 0.0;
-    for run in 0..runs {
-        let run_seed = seed ^ (run as u64) << 9;
-        let mut sys = System::new(profile.clone(), run_seed);
-        sys.set_noise(noise.clone());
-        let receiver = sys.spawn("spy", AslrPolicy::Disabled);
-        let mut rng = StdRng::seed_from_u64(run_seed ^ 0x56_1);
-        let secret = payload(bits, &mut rng);
-        let mut enclave =
-            Enclave::launch(&mut sys, "trojan-enclave", EnclaveSender::new(secret.clone()));
-        let controller = EnclaveController::new();
-        // The attacker-controlled OS single-steps the enclave; in the
-        // isolated setting it also prevents any other activity.
-        let mut channel =
-            CovertChannel::new(AttackConfig::for_profile(&profile)).expect("valid config");
-        let received = channel.receive_from_enclave(
-            &mut sys,
-            &mut enclave,
-            &controller,
-            receiver,
-            secret.len(),
-        );
-        total += received.score(&secret).error_rate;
-    }
-    total / runs as f64
+    let mut sys = System::new(profile.clone(), seed);
+    sys.set_noise(noise.cloned());
+    let receiver = sys.spawn("spy", AslrPolicy::Disabled);
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x561));
+    let secret = payload(bits, &mut rng);
+    let mut enclave = Enclave::launch(&mut sys, "trojan-enclave", EnclaveSender::new(secret.clone()));
+    let controller = EnclaveController::new();
+    // The attacker-controlled OS single-steps the enclave; in the
+    // isolated setting it also prevents any other activity.
+    let mut channel = CovertChannel::new(AttackConfig::for_profile(&profile)).expect("valid config");
+    let received =
+        channel.receive_from_enclave(&mut sys, &mut enclave, &controller, receiver, secret.len());
+    received.score(&secret).error_rate
+}
+
+/// Computes both table rows (error rates in percent): all
+/// `2 settings x 3 payloads x runs` transmissions run as independent
+/// trials on the deterministic parallel runner.
+pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Vec<[f64; 3]> {
+    let settings: [Option<NoiseConfig>; 2] = [Some(NoiseConfig::system_activity()), None];
+    let payloads: [PayloadFn; 3] = [all0, all1, random];
+    let cells = settings.len() * payloads.len();
+
+    let per_trial = run_trials(cells * runs, scale.seed ^ 0x560, scale.threads, |idx, seed| {
+        let cell = idx / runs;
+        let noise = settings[cell / payloads.len()].as_ref();
+        one_run(noise, payloads[cell % payloads.len()], bits, seed)
+    });
+
+    (0..settings.len())
+        .map(|s| {
+            let mut row = [0.0f64; 3];
+            for (p, err) in row.iter_mut().enumerate() {
+                let cell = s * 3 + p;
+                *err = 100.0 * per_trial[cell * runs..(cell + 1) * runs].iter().sum::<f64>()
+                    / runs as f64;
+            }
+            row
+        })
+        .collect()
 }
 
 pub fn run(scale: &Scale) {
@@ -50,23 +75,13 @@ pub fn run(scale: &Scale) {
     println!("Skylake, sender inside an SGX enclave single-stepped by a malicious OS;");
     println!("{bits} bits per run, {runs} runs per cell\n");
 
-    let all0 = |n: usize, _: &mut StdRng| vec![false; n];
-    let all1 = |n: usize, _: &mut StdRng| vec![true; n];
-    let random = |n: usize, rng: &mut StdRng| (0..n).map(|_| rng.gen()).collect();
-
     println!("{:<26} {:>8} {:>8} {:>8}", "", "All 0", "All 1", "Random");
-    let mut rows = Vec::new();
-    for (label, noise) in [
-        ("SGX with noise", Some(NoiseConfig::system_activity())),
-        ("SGX isolated", None),
-    ] {
-        let row = [
-            100.0 * sgx_error_rate(noise.clone(), all0, bits, runs, scale.seed),
-            100.0 * sgx_error_rate(noise.clone(), all1, bits, runs, scale.seed ^ 1),
-            100.0 * sgx_error_rate(noise, random, bits, runs, scale.seed ^ 2),
-        ];
+    let rows = compute(scale, bits, runs);
+    for (label, row) in ["SGX with noise", "SGX isolated"].iter().zip(&rows) {
         println!("{label:<26} {:>7.3}% {:>7.3}% {:>7.3}%", row[0], row[1], row[2]);
-        rows.push(row);
+        for (payload, err) in ["all0", "all1", "random"].iter().zip(row) {
+            metric(format!("table3/{label}/{payload}_error_pct"), *err);
+        }
     }
     println!("\n{:<26} {:>8} {:>8} {:>8}", "paper:", "All 0", "All 1", "Random");
     println!("{:<26} {:>7.3}% {:>7.3}% {:>7.3}%", "SGX with noise (paper)", 0.008, 0.53, 0.73);
@@ -79,4 +94,20 @@ pub fn run(scale: &Scale) {
         avg(&rows[1]) <= avg(&rows[0])
     );
     println!("  isolated SGX error near zero: {}", avg(&rows[1]) < 0.1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_thread_count_invariant() {
+        let mut scale = Scale::quick();
+        scale.threads = 1;
+        let sequential = compute(&scale, 200, 2);
+        for threads in [2, 8] {
+            scale.threads = threads;
+            assert_eq!(compute(&scale, 200, 2), sequential, "threads={threads}");
+        }
+    }
 }

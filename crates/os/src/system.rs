@@ -3,10 +3,9 @@
 use crate::process::{AslrPolicy, Pid, Process};
 use bscope_bpu::{MicroarchProfile, Outcome, VirtAddr};
 use bscope_uarch::{BranchEvent, NoiseConfig, PerfCounters, SimCore};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A single-core system hosting co-resident processes.
 ///
@@ -152,7 +151,7 @@ impl System {
     ///
     /// Panics if `pid` was not spawned by this system.
     pub fn cpu(&mut self, pid: Pid) -> CpuView<'_> {
-        let proc = self.processes[pid.0 as usize].clone();
+        let proc = &self.processes[pid.0 as usize];
         let core_idx = self.core_of[pid.0 as usize];
         CpuView { core: &mut self.cores[core_idx], proc }
     }
@@ -191,14 +190,14 @@ impl System {
 #[derive(Debug)]
 pub struct CpuView<'a> {
     core: &'a mut SimCore,
-    proc: Process,
+    proc: &'a Process,
 }
 
 impl CpuView<'_> {
     /// The owning process's metadata.
     #[must_use]
     pub fn process(&self) -> &Process {
-        &self.proc
+        self.proc
     }
 
     /// Virtual address of the code at `offset` in this process.
@@ -266,8 +265,12 @@ impl SharedSystem {
     }
 
     /// Runs `f` with exclusive access to the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
     pub fn with<T>(&self, f: impl FnOnce(&mut System) -> T) -> T {
-        f(&mut self.0.lock())
+        f(&mut self.0.lock().expect("system lock poisoned"))
     }
 }
 

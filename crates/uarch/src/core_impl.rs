@@ -48,9 +48,31 @@ pub struct SimCore {
     tsc: u64,
     last_noise_tsc: u64,
     rng: StdRng,
-    noise: Option<NoiseConfig>,
+    noise: Option<NoiseParams>,
     policy: Box<dyn BpuPolicy>,
     fuzz: Option<MeasurementFuzz>,
+}
+
+/// Validated, `Copy` image of a [`NoiseConfig`], cached so the per-branch
+/// noise checks in [`SimCore::execute_branch_in`] stay allocation-free
+/// (`NoiseConfig` holds a `Range`, which is not `Copy`).
+#[derive(Debug, Clone, Copy)]
+struct NoiseParams {
+    branches_per_kcycle: f64,
+    addr_lo: u64,
+    addr_hi: u64,
+    taken_bias: f64,
+}
+
+impl From<&NoiseConfig> for NoiseParams {
+    fn from(cfg: &NoiseConfig) -> Self {
+        NoiseParams {
+            branches_per_kcycle: cfg.branches_per_kcycle,
+            addr_lo: cfg.addr_range.start,
+            addr_hi: cfg.addr_range.end,
+            taken_bias: cfg.taken_bias,
+        }
+    }
 }
 
 impl SimCore {
@@ -101,7 +123,7 @@ impl SimCore {
         if let Some(cfg) = &noise {
             cfg.validate().expect("invalid noise configuration");
         }
-        self.noise = noise;
+        self.noise = noise.as_ref().map(NoiseParams::from);
     }
 
     /// Builder-style variant of [`SimCore::set_noise`].
@@ -245,9 +267,9 @@ impl SimCore {
     /// hardware thread: they appear in no foreground context's counters and
     /// their latency does not advance the foreground clock.
     pub fn inject_noise_burst(&mut self, n: usize) -> usize {
-        let Some(cfg) = self.noise.clone() else { return 0 };
+        let Some(cfg) = self.noise else { return 0 };
         for _ in 0..n {
-            let addr = self.rng.gen_range(cfg.addr_range.clone());
+            let addr = self.rng.gen_range(cfg.addr_lo..cfg.addr_hi);
             let outcome = Outcome::from_bool(self.rng.gen_bool(cfg.taken_bias));
             let indexed = self.policy.index_addr(NOISE_CTX, addr);
             self.bpu.execute(indexed, outcome, None);
@@ -256,7 +278,7 @@ impl SimCore {
     }
 
     fn inject_pending_noise(&mut self) {
-        let Some(cfg) = self.noise.clone() else {
+        let Some(cfg) = self.noise else {
             self.last_noise_tsc = self.tsc;
             return;
         };

@@ -235,7 +235,7 @@ fn attack_degrades_gracefully_under_preemption() {
             let mut cpu = sys.cpu(intruder);
             for k in 0..32u64 {
                 let addr = 0x9000 + ((i as u64 * 131 + k * 17) % 0x8000);
-                cpu.branch_at_abs(addr, Outcome::from_bool((i as u64 + k) % 3 == 0));
+                cpu.branch_at_abs(addr, Outcome::from_bool((i as u64 + k).is_multiple_of(3)));
             }
         });
         if SecretBranchVictim::bit_from_outcome(outcome) != bit {
