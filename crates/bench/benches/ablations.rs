@@ -65,7 +65,7 @@ fn noise_level_ablation(c: &mut Criterion) {
         group.bench_function(name, |b| {
             let profile = MicroarchProfile::skylake();
             let (mut sys, victim, spy, target) = attack_fixture(profile.clone(), 22);
-            sys.set_noise(noise.clone());
+            sys.set_noise(noise.clone()).expect("preset noise is valid");
             let mut attack =
                 bscope_core::BranchScope::new(bscope_core::AttackConfig::for_profile(&profile))
                     .unwrap();

@@ -36,7 +36,7 @@ fn table2_covert(c: &mut Criterion) {
                     let bits: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
                     b.iter(|| {
                         let mut sys =
-                            System::new(profile.clone(), 9).with_noise(noise.clone());
+                            System::new(profile.clone(), 9).with_noise(noise.clone()).expect("preset noise is valid");
                         let sender = sys.spawn("trojan", AslrPolicy::Disabled);
                         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
                         let mut channel =

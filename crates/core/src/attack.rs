@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn tolerates_system_noise_with_low_error() {
         let profile = MicroarchProfile::skylake();
-        let mut sys = System::new(profile.clone(), 31).with_noise(NoiseConfig::system_activity());
+        let mut sys = System::new(profile.clone(), 31).with_noise(NoiseConfig::system_activity()).unwrap();
         let victim = sys.spawn("victim", AslrPolicy::Disabled);
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         let target = sys.process(victim).vaddr_of(0x6d);

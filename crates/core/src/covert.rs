@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn noisy_channel_has_low_error_rate() {
         let profile = MicroarchProfile::skylake();
-        let mut sys = System::new(profile.clone(), 78).with_noise(NoiseConfig::system_activity());
+        let mut sys = System::new(profile.clone(), 78).with_noise(NoiseConfig::system_activity()).unwrap();
         let sender = sys.spawn("trojan", AslrPolicy::Disabled);
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
         let mut rng = StdRng::seed_from_u64(9);
@@ -319,7 +319,7 @@ mod tests {
     #[test]
     fn redundancy_coding_eliminates_residual_errors() {
         let profile = MicroarchProfile::sandy_bridge(); // the noisiest machine
-        let mut sys = System::new(profile.clone(), 81).with_noise(NoiseConfig::heavy());
+        let mut sys = System::new(profile.clone(), 81).with_noise(NoiseConfig::heavy()).unwrap();
         let sender = sys.spawn("trojan", AslrPolicy::Disabled);
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
         let mut rng = StdRng::seed_from_u64(11);

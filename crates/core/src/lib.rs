@@ -61,7 +61,7 @@ mod randomize;
 
 pub use attack::{AttackConfig, BranchScope};
 pub use decode::{decode_state, fsm_transition_row, table1, DecodedState, DirectionDict, Table1Row};
-pub use error::AttackError;
+pub use error::{AttackError, BscopeError, ConfigError};
 pub use poison::BranchPoisoner;
 pub use prime::{PrimeStrategy, SearchedPrime, TargetedPrime};
 pub use probe::{probe_with_counters, ProbeKind, ProbePattern};

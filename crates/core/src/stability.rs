@@ -236,7 +236,7 @@ mod tests {
             btb_size: 1_024,
             timing: Default::default(),
         };
-        let mut sys = System::new(profile, 92).with_noise(NoiseConfig::isolated_core());
+        let mut sys = System::new(profile, 92).with_noise(NoiseConfig::isolated_core()).unwrap();
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         let cfg = StabilityConfig { updates_per_entry: 10, ..config(8, 40) };
         let points = analyze_stability(&mut sys, spy, &cfg);

@@ -3,7 +3,7 @@
 
 use crate::common::Scale;
 use bscope_bpu::{MicroarchProfile, Outcome};
-use bscope_core::{AttackConfig, BranchScope};
+use bscope_core::{AttackConfig, BranchScope, BscopeError};
 use bscope_os::{AslrPolicy, System, Workload};
 use bscope_uarch::NoiseConfig;
 use bscope_victims::{
@@ -13,11 +13,11 @@ use bscope_victims::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn montgomery(scale: &Scale) {
+fn montgomery(scale: &Scale) -> Result<(), BscopeError> {
     println!("--- Montgomery ladder key recovery ---");
     let profile = MicroarchProfile::skylake();
     let mut sys =
-        System::new(profile.clone(), scale.seed).with_noise(NoiseConfig::isolated_core());
+        System::new(profile.clone(), scale.seed).with_noise(NoiseConfig::isolated_core())?;
     let victim = sys.spawn("openssl-victim", AslrPolicy::Disabled);
     let spy = sys.spawn("spy", AslrPolicy::Disabled);
     let target = sys.process(victim).vaddr_of(VICTIM_BRANCH_OFFSET);
@@ -28,7 +28,7 @@ fn montgomery(scale: &Scale) {
     let mut ladder = MontgomeryLadder::new(0x10001, key, modulus);
     let key_bits = ladder.key_bits();
 
-    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))?;
     let reads = attack.read_bits(&mut sys, spy, target, key_bits, |sys, _| {
         let mut cpu = sys.cpu(victim);
         ladder.step(&mut cpu);
@@ -44,9 +44,10 @@ fn montgomery(scale: &Scale) {
         wrong,
         ladder.result().expect("ladder finished"),
     );
+    Ok(())
 }
 
-fn jpeg(scale: &Scale) {
+fn jpeg(scale: &Scale) -> Result<(), BscopeError> {
     println!("\n--- libjpeg IDCT zero-skip complexity recovery ---");
     let profile = MicroarchProfile::skylake();
     let mut sys = System::new(profile.clone(), scale.seed ^ 1);
@@ -73,7 +74,7 @@ fn jpeg(scale: &Scale) {
     let mut victim_prog = IdctVictim::new(blocks);
     let truths: Vec<[bool; 8]> = (0..n_blocks).map(|b| victim_prog.ground_truth(b)).collect();
 
-    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))?;
     let mut correct = 0usize;
     println!("  per-column AC-free pattern (1 = shortcut taken), recovered vs truth:");
     for truth in &truths {
@@ -95,9 +96,10 @@ fn jpeg(scale: &Scale) {
         truths.len() * 8
     );
     println!("  i.e. the relative complexity of each pixel block (paper Sec. 9.2).");
+    Ok(())
 }
 
-fn aslr(scale: &Scale) {
+fn aslr(scale: &Scale) -> Result<(), BscopeError> {
     println!("\n--- ASLR derandomization via branch collisions ---");
     let profile = MicroarchProfile::skylake();
     let pht_size = profile.pht_size as u64;
@@ -111,7 +113,7 @@ fn aslr(scale: &Scale) {
     // Phase 1: find the PHT congruence class of the victim's hot branch by
     // priming candidate entries SN and checking which one the victim's
     // taken branch disturbs (pure BranchScope collision detection).
-    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))?;
     let mut found_class = None;
     for class in 0..pht_size {
         // Candidate address in the spy's reach with this PHT index.
@@ -174,9 +176,10 @@ fn aslr(scale: &Scale) {
     } else {
         println!("  (true base filtered out this run — timing noise; rerun with more passes)");
     }
+    Ok(())
 }
 
-fn sliding_window(scale: &Scale) {
+fn sliding_window(scale: &Scale) -> Result<(), BscopeError> {
     println!("\n--- sliding-window exponentiation: partial key recovery ---");
     let profile = MicroarchProfile::skylake();
     let mut sys = System::new(profile.clone(), scale.seed ^ 3);
@@ -190,7 +193,7 @@ fn sliding_window(scale: &Scale) {
     let mut exp = SlidingWindowExp::new(0x1_0001, key, 0xFFFF_FFFF_FFC5, window);
 
     // The spy reads the square/multiply schedule one branch at a time.
-    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))?;
     let mut observed = Vec::new();
     loop {
         let before = exp.result().is_some();
@@ -219,11 +222,13 @@ fn sliding_window(scale: &Scale) {
         "  {correct}/{recovered} of them correct — \"limited information can still be\"",
     );
     println!("  \"recovered\" from windowed implementations (paper Sec. 9.2, citing [6]).");
+    Ok(())
 }
 
-pub fn run(scale: &Scale) {
-    montgomery(scale);
-    jpeg(scale);
-    sliding_window(scale);
-    aslr(scale);
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
+    montgomery(scale)?;
+    jpeg(scale)?;
+    sliding_window(scale)?;
+    aslr(scale)?;
+    Ok(())
 }

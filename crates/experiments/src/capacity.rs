@@ -1,11 +1,11 @@
 //! Extension (beyond the paper): covert-channel capacity — error rate and
 //! throughput as functions of background noise and repetition coding.
 
-use crate::common::{metric, Scale};
+use crate::common::{metric, trials, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::covert::CovertChannel;
-use bscope_core::AttackConfig;
-use bscope_harness::{run_trials, splitmix64};
+use bscope_core::{AttackConfig, BscopeError};
+use bscope_harness::splitmix64;
 use bscope_os::{AslrPolicy, System};
 use bscope_uarch::NoiseConfig;
 use rand::rngs::StdRng;
@@ -21,16 +21,25 @@ const NOISE_LEVELS: [(&str, f64); 5] = [
 
 const REDUNDANCIES: [usize; 3] = [1, 3, 5];
 
-/// Error rate and throughput (bits per Mcycle) of one grid cell.
-pub fn compute(scale: &Scale, bits: usize) -> Vec<(f64, f64)> {
+/// Error rate and throughput (bits per Mcycle) of one grid cell. Channel
+/// and noise configurations for every grid row are validated before the
+/// fan-out.
+pub fn compute(scale: &Scale, bits: usize) -> Result<Vec<(f64, f64)>, BscopeError> {
     let profile = MicroarchProfile::skylake();
+    CovertChannel::new(AttackConfig::for_profile(&profile))?;
+    for (_, rate) in NOISE_LEVELS {
+        if rate > 0.0 {
+            NoiseConfig { branches_per_kcycle: rate, ..NoiseConfig::system_activity() }
+                .validate()?;
+        }
+    }
     // One shared message for the whole grid (derived from the scale seed,
     // not the per-trial seed) so cells differ only in noise and coding.
     let mut rng = StdRng::seed_from_u64(splitmix64(scale.seed ^ 0xCAB));
     let message: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
     let cells = NOISE_LEVELS.len() * REDUNDANCIES.len();
 
-    run_trials(cells, scale.seed ^ 0xCA9, scale.threads, |idx, seed| {
+    Ok(trials(scale, cells, 0xCA9, |idx, seed| {
         let (_, rate) = NOISE_LEVELS[idx / REDUNDANCIES.len()];
         let redundancy = REDUNDANCIES[idx % REDUNDANCIES.len()];
         let mut sys = System::new(profile.clone(), seed);
@@ -38,7 +47,8 @@ pub fn compute(scale: &Scale, bits: usize) -> Vec<(f64, f64)> {
             sys.set_noise(Some(NoiseConfig {
                 branches_per_kcycle: rate,
                 ..NoiseConfig::system_activity()
-            }));
+            }))
+            .expect("noise config validated before fan-out");
         }
         let sender = sys.spawn("trojan", AslrPolicy::Disabled);
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
@@ -49,12 +59,12 @@ pub fn compute(scale: &Scale, bits: usize) -> Vec<(f64, f64)> {
             channel.transmit_with_redundancy(&mut sys, sender, receiver, &message, redundancy)
         };
         (result.error_rate, message.len() as f64 * 1e6 / result.cycles as f64)
-    })
+    }))
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(4_000, 500);
-    let grid = compute(scale, bits);
+    let grid = compute(scale, bits)?;
 
     println!("Skylake, {bits} payload bits per cell; error / throughput (bits per Mcycle)\n");
     println!(
@@ -77,6 +87,7 @@ pub fn run(scale: &Scale) {
     println!("\nextension beyond the paper: repetition coding buys orders of magnitude in");
     println!("reliability at a proportional throughput cost, so even an extremely noisy");
     println!("core sustains a usable covert channel.");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -87,10 +98,10 @@ mod tests {
     fn grid_is_thread_count_invariant() {
         let mut scale = Scale::quick();
         scale.threads = 1;
-        let sequential = compute(&scale, 100);
+        let sequential = compute(&scale, 100).expect("valid preset configs");
         for threads in [2, 8] {
             scale.threads = threads;
-            assert_eq!(compute(&scale, 100), sequential, "threads={threads}");
+            assert_eq!(compute(&scale, 100).expect("valid preset configs"), sequential, "threads={threads}");
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Shared experiment plumbing: scale factors, the headline-metric sink
-//! behind `--json`, and small output helpers.
+//! behind `--json`, trial-runner glue (thread count + fault injection),
+//! and small output helpers.
 
-use std::sync::Mutex;
+use bscope_harness::{run_trials_with, FaultPlan, FaultPolicy, RunOptions};
+use std::sync::{Mutex, PoisonError};
 
 /// Experiment scale: `full()` approaches the paper's sample sizes where
 /// affordable; `quick()` runs everything in seconds for smoke testing.
@@ -15,11 +17,14 @@ pub struct Scale {
     /// Results are thread-count-invariant (see `bscope-harness`), so this
     /// only affects wall-clock.
     pub threads: usize,
+    /// Deterministic fault injection for the trial-parallel experiments
+    /// (`--inject-fault`); `None` in normal runs.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Scale {
     pub fn full() -> Self {
-        Scale { quick: false, seed: 0xB5C0_9E01, threads: 0 }
+        Scale { quick: false, seed: 0xB5C0_9E01, threads: 0, fault: None }
     }
 
     #[allow(dead_code)] // handy for unit-style invocations
@@ -37,20 +42,71 @@ impl Scale {
     }
 }
 
-/// Headline metrics reported by experiments since the last [`drain_metrics`]
-/// call; the main loop attaches them to the experiment that just ran when
-/// emitting `--json`.
+/// Runs `n` trials through the deterministic parallel runner with this
+/// scale's thread count and fault plan. Seeds derive from
+/// `scale.seed ^ salt`, exactly as the former direct `run_trials` calls,
+/// so results are unchanged — and bit-identical for every thread count.
+///
+/// # Panics
+///
+/// A panicking (or injected-fault) trial is re-raised with its trial index
+/// and seed attached; the binary's per-experiment isolation turns that
+/// into a failure entry in the `--json` report.
+pub fn trials<T, F>(scale: &Scale, n: usize, salt: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let opts =
+        RunOptions { threads: scale.threads, policy: FaultPolicy::Propagate, fault: scale.fault };
+    run_trials_with(n, scale.seed ^ salt, &opts, f).expect_complete()
+}
+
+/// Headline metrics reported by experiments since the last drain; the main
+/// loop scopes the sink per experiment (see [`MetricScope`]) when emitting
+/// `--json`.
 static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Locks the sink, recovering from poisoning: a panicking experiment must
+/// not wedge metric recording for every later experiment in the run.
+fn metrics_sink() -> std::sync::MutexGuard<'static, Vec<(String, f64)>> {
+    METRICS.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Records a headline result (e.g. a table cell or summary fraction) for
 /// the `--json` report. No-op unless drained by the main loop.
 pub fn metric(name: impl Into<String>, value: f64) {
-    METRICS.lock().expect("metrics lock").push((name.into(), value));
+    metrics_sink().push((name.into(), value));
 }
 
-/// Takes all metrics recorded since the previous drain.
-pub fn drain_metrics() -> Vec<(String, f64)> {
-    std::mem::take(&mut METRICS.lock().expect("metrics lock"))
+/// Scopes the metric sink to one experiment: everything recorded between
+/// [`MetricScope::enter`] and [`MetricScope::finish`] belongs to that
+/// experiment — including metrics recorded before a panic, which used to
+/// leak into the *next* experiment's `--json` entry once experiments were
+/// isolated. Dropping the scope without finishing discards its metrics.
+#[must_use = "an unfinished scope discards its metrics on drop"]
+pub struct MetricScope {
+    _not_send: std::marker::PhantomData<*const ()>, // one experiment at a time
+}
+
+impl MetricScope {
+    /// Opens a scope, discarding anything stale from before it.
+    pub fn enter() -> Self {
+        metrics_sink().clear();
+        MetricScope { _not_send: std::marker::PhantomData }
+    }
+
+    /// Closes the scope and returns every metric recorded inside it, even
+    /// if the experiment subsequently panicked part-way.
+    pub fn finish(self) -> Vec<(String, f64)> {
+        std::mem::take(&mut metrics_sink())
+    }
+}
+
+impl Drop for MetricScope {
+    fn drop(&mut self) {
+        metrics_sink().clear();
+    }
 }
 
 /// Simple text bar for terminal "plots".
@@ -85,4 +141,55 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The metric sink is global, so these tests must not run concurrently
+    // with each other; a single test covers all scope semantics.
+    #[test]
+    fn metric_scope_isolates_experiments_even_across_panics() {
+        // Metrics recorded before the scope are stale and discarded.
+        metric("stale/metric", 1.0);
+        let scope = MetricScope::enter();
+        metric("exp1/a", 1.5);
+        // The experiment panics mid-way, as an isolated experiment might.
+        let _ = std::panic::catch_unwind(|| {
+            metric("exp1/b", 2.5);
+            panic!("experiment dies after recording metrics");
+        });
+        let got = scope.finish();
+        assert_eq!(got, vec![("exp1/a".to_owned(), 1.5), ("exp1/b".to_owned(), 2.5)]);
+
+        // The next experiment's scope must start empty: nothing leaked.
+        let scope = MetricScope::enter();
+        metric("exp2/a", 3.0);
+        assert_eq!(scope.finish(), vec![("exp2/a".to_owned(), 3.0)]);
+
+        // A dropped (unfinished) scope discards its metrics.
+        {
+            let _scope = MetricScope::enter();
+            metric("abandoned", 9.0);
+        }
+        let scope = MetricScope::enter();
+        assert!(scope.finish().is_empty());
+    }
+
+    #[test]
+    fn trials_match_plain_runner_and_honor_fault_plans() {
+        let mut scale = Scale::quick();
+        scale.threads = 2;
+        let out = trials(&scale, 8, 0xABC, |idx, seed| (idx, seed));
+        assert_eq!(out, bscope_harness::run_trials(8, scale.seed ^ 0xABC, 1, |i, s| (i, s)));
+
+        scale.fault = Some(bscope_harness::FaultPlan::keyed(0).panic_on_index(3));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            trials(&scale, 8, 0xABC, |idx, seed| (idx, seed))
+        }))
+        .expect_err("injected fault must propagate");
+        let msg = bscope_harness::panic_message(&*err);
+        assert!(msg.contains("trial 3"), "fault names its trial: {msg}");
+    }
 }

@@ -3,6 +3,7 @@
 
 use crate::common::{bar, Scale};
 use bscope_bpu::{MicroarchProfile, Outcome};
+use bscope_core::BscopeError;
 use bscope_os::{AslrPolicy, System};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,7 +36,7 @@ fn learning_curve(profile: &MicroarchProfile, runs: usize, seed: u64) -> Vec<f64
     totals.iter().map(|t| t / runs as f64).collect()
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let runs = scale.n(400, 50);
     let machines =
         [("i5-6200U (Skylake)", MicroarchProfile::skylake()), ("i7-2600 (Sandy Bridge)", MicroarchProfile::sandy_bridge())];
@@ -67,4 +68,5 @@ pub fn run(scale: &Scale) {
         converged(&curves[0].1),
         converged(&curves[1].1),
     );
+    Ok(())
 }

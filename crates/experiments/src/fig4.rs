@@ -1,10 +1,10 @@
 //! Figure 4: stability of randomization blocks (scatter of dominant-pattern
 //! frequencies) and the distribution of decoded PHT states.
 
-use crate::common::{metric, Scale};
+use crate::common::{metric, trials, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::stability::{characterize_block, BlockStability, StabilityConfig, StateDistribution};
-use bscope_harness::run_trials;
+use bscope_core::BscopeError;
 use bscope_os::{AslrPolicy, System};
 use bscope_uarch::NoiseConfig;
 
@@ -14,17 +14,19 @@ use bscope_uarch::NoiseConfig;
 /// are i.i.d. across machines) seeded from the runner's per-trial seed, so
 /// the result is identical for every thread count — unlike the previous
 /// worker-sharded version, where per-worker seeds tied the results to the
-/// worker count.
-pub fn analyze_parallel(config: &StabilityConfig, threads: usize, seed: u64) -> Vec<BlockStability> {
-    run_trials(config.blocks, seed ^ 0xF164, threads, |idx, trial_seed| {
+/// worker count. Trial seeds derive from `scale.seed ^ 0xF164`, unchanged
+/// from when this took a bare seed.
+pub fn analyze_parallel(config: &StabilityConfig, scale: &Scale) -> Vec<BlockStability> {
+    trials(scale, config.blocks, 0xF164, |idx, trial_seed| {
         let mut sys = System::new(MicroarchProfile::haswell(), trial_seed)
-            .with_noise(NoiseConfig::isolated_core());
+            .with_noise(NoiseConfig::isolated_core())
+            .expect("preset noise is valid");
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         characterize_block(&mut sys, spy, config, config.seed + idx as u64)
     })
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     // Fig. 4 characterises block behaviour in the presence of "various
     // system effects"; we run on the 2-bit 16K-entry machine (Haswell
     // profile) with background system activity. The block density is the
@@ -37,7 +39,8 @@ pub fn run(scale: &Scale) {
         updates_per_entry: 10,
         ..StabilityConfig::default()
     };
-    let points = analyze_parallel(&config, scale.threads, scale.seed);
+    NoiseConfig::isolated_core().validate()?;
+    let points = analyze_parallel(&config, scale);
 
     println!(
         "(a) dominant-pattern frequency per block ({} blocks x {} reps/variant, threshold {:.0}%)\n",
@@ -76,6 +79,7 @@ pub fn run(scale: &Scale) {
     );
     println!("ours : {:.1}% stable.", 100.0 * dist.stable_fraction());
     metric("fig4/stable_fraction", dist.stable_fraction());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -86,12 +90,16 @@ mod tests {
         StabilityConfig { blocks: 30, reps: 12, updates_per_entry: 10, ..StabilityConfig::default() }
     }
 
+    fn scale_with_threads(threads: usize) -> Scale {
+        Scale { threads, ..Scale::quick() }
+    }
+
     #[test]
     fn analysis_is_thread_count_invariant() {
         let config = quick_config();
-        let sequential = analyze_parallel(&config, 1, 0xB5C0_9E01);
+        let sequential = analyze_parallel(&config, &scale_with_threads(1));
         for threads in [2, 8] {
-            assert_eq!(analyze_parallel(&config, threads, 0xB5C0_9E01), sequential);
+            assert_eq!(analyze_parallel(&config, &scale_with_threads(threads)), sequential);
         }
     }
 
@@ -100,7 +108,7 @@ mod tests {
     /// deliberately when any of those changes.
     #[test]
     fn quick_scale_stable_fraction_is_pinned() {
-        let points = analyze_parallel(&quick_config(), 0, 0xB5C0_9E01);
+        let points = analyze_parallel(&quick_config(), &scale_with_threads(0));
         let fraction = StateDistribution::from_blocks(&points).stable_fraction();
         // Pinned value; update deliberately when the seed schedule, the
         // simulator, or the PRNG stream changes.

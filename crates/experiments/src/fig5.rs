@@ -7,11 +7,12 @@ use bscope_core::reverse::{
     candidate_windows, discover_pht_size, scan_states, GranularityReport,
 };
 use bscope_core::RandomizationBlock;
+use bscope_core::BscopeError;
 use bscope_os::{AslrPolicy, System};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let profile = MicroarchProfile::skylake();
     let pht_size = profile.pht_size;
     let mut sys = System::new(profile.clone(), scale.seed);
@@ -81,4 +82,5 @@ pub fn run(scale: &Scale) {
         100.0 * periodic as f64 / pht_size as f64,
         count / pht_size
     );
+    Ok(())
 }

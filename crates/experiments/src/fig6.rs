@@ -3,22 +3,22 @@
 
 use crate::common::Scale;
 use bscope_bpu::{MicroarchProfile, Outcome};
-use bscope_core::{AttackConfig, BranchScope, ProbePattern};
+use bscope_core::{AttackConfig, BranchScope, BscopeError, ProbePattern};
 use bscope_os::{AslrPolicy, System};
 use bscope_uarch::NoiseConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let profile = MicroarchProfile::skylake();
     // Heavier-than-usual noise so the short demo plausibly shows an
     // erroneously received bit, as the paper's figure does.
     let mut sys = System::new(profile.clone(), scale.seed)
-        .with_noise(NoiseConfig { branches_per_kcycle: 30.0, ..NoiseConfig::system_activity() });
+        .with_noise(NoiseConfig { branches_per_kcycle: 30.0, ..NoiseConfig::system_activity() })?;
     let sender = sys.spawn("trojan", AslrPolicy::Disabled);
     let spy = sys.spawn("spy", AslrPolicy::Disabled);
     let target = sys.process(sender).vaddr_of(0x6d);
-    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile)).unwrap();
+    let mut attack = BranchScope::new(AttackConfig::for_profile(&profile))?;
 
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xF166);
     let original: Vec<bool> = (0..32).map(|_| rng.gen()).collect();
@@ -55,4 +55,5 @@ pub fn run(scale: &Scale) {
     let errors = original.iter().zip(&decoded).filter(|(a, b)| a != b).count();
     println!("\n{errors} erroneous bit(s) out of {} under elevated noise;", original.len());
     println!("paper's figure likewise demonstrates one erroneously received bit.");
+    Ok(())
 }

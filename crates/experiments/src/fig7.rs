@@ -3,6 +3,7 @@
 
 use crate::common::{mean, percentile, Scale};
 use bscope_bpu::{MicroarchProfile, Outcome, PhtState};
+use bscope_core::BscopeError;
 use bscope_os::{AslrPolicy, System};
 
 /// Times one branch whose prediction outcome is controlled exactly: the
@@ -36,7 +37,7 @@ fn samples(
     out
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let profile = MicroarchProfile::skylake();
     let n = scale.n(100_000, 5_000);
     println!("latency (cycles) of a single warmed branch, {n} samples per case\n");
@@ -70,4 +71,5 @@ pub fn run(scale: &Scale) {
         means["(a) not-taken, miss"] - means["(a) not-taken, hit"],
         means["(b) taken, miss"] - means["(b) taken, hit"],
     );
+    Ok(())
 }

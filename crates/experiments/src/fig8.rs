@@ -5,9 +5,10 @@
 use crate::common::{bar, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::timing_probe::detection_error_rate;
+use bscope_core::BscopeError;
 use bscope_os::{AslrPolicy, System};
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let profile = MicroarchProfile::skylake();
     let trials = scale.n(2_000, 300);
     println!("error distinguishing predicted from mispredicted branches by timing,");
@@ -43,4 +44,5 @@ pub fn run(scale: &Scale) {
         100.0 * second_k1,
         100.0 * second_k9
     );
+    Ok(())
 }

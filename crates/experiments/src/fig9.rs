@@ -4,10 +4,10 @@
 use crate::common::Scale;
 use bscope_bpu::{MicroarchProfile, PhtState};
 use bscope_core::timing_probe::probe_latency_by_state;
-use bscope_core::ProbeKind;
+use bscope_core::{BscopeError, ProbeKind};
 use bscope_os::{AslrPolicy, System};
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let profile = MicroarchProfile::haswell();
     let reps = scale.n(5_000, 500);
     for (title, kind) in [
@@ -43,4 +43,5 @@ pub fn run(scale: &Scale) {
     }
     println!("paper: the four states are reliably distinguishable from the probe timings,");
     println!("       e.g. probing NN: ST(MM), WT(MH), WN(HH), SN(HH); probing TT mirrors it.");
+    Ok(())
 }

@@ -1,6 +1,10 @@
 //! Hand-rolled JSON report for `--json` (the workspace has no JSON
 //! serialisation dependency, and the format here is flat enough that an
 //! escaping-correct emitter is a dozen lines).
+//!
+//! Failed experiments still get an entry (`"status": "failed"` plus the
+//! panic or error message and whatever metrics were recorded before the
+//! failure), so a partial report stays well-formed and machine-readable.
 
 use crate::common::Scale;
 use std::fmt::Write as _;
@@ -18,6 +22,8 @@ struct Entry {
     name: String,
     wall_seconds: f64,
     metrics: Vec<(String, f64)>,
+    /// `Some(message)` when the experiment failed (typed error or panic).
+    error: Option<String>,
 }
 
 /// JSON string escaping (quotes, backslashes, control characters).
@@ -53,9 +59,23 @@ impl Report {
         Report { quick: scale.quick, seed: scale.seed, threads: scale.threads, experiments: Vec::new() }
     }
 
-    /// Records one finished experiment.
-    pub fn record(&mut self, name: &str, wall_seconds: f64, metrics: Vec<(String, f64)>) {
-        self.experiments.push(Entry { name: name.to_owned(), wall_seconds, metrics });
+    /// Records one experiment: `error` is `None` on success, or the
+    /// failure message of a panicked/errored experiment. Metrics recorded
+    /// before the failure are kept — they belong to this entry, not the
+    /// next experiment's.
+    pub fn record(
+        &mut self,
+        name: &str,
+        wall_seconds: f64,
+        metrics: Vec<(String, f64)>,
+        error: Option<String>,
+    ) {
+        self.experiments.push(Entry { name: name.to_owned(), wall_seconds, metrics, error });
+    }
+
+    /// Whether any recorded experiment failed.
+    pub fn has_failures(&self) -> bool {
+        self.experiments.iter().any(|e| e.error.is_some())
     }
 
     /// Serialises the report.
@@ -67,11 +87,25 @@ impl Report {
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let total: f64 = self.experiments.iter().map(|e| e.wall_seconds).sum();
         let _ = writeln!(out, "  \"total_wall_seconds\": {},", number(total));
+        let failed: Vec<&Entry> = self.experiments.iter().filter(|e| e.error.is_some()).collect();
+        out.push_str("  \"failed\": [");
+        for (i, e) in failed.iter().enumerate() {
+            let _ = write!(out, "{}\"{}\"", if i == 0 { "" } else { ", " }, escape(&e.name));
+        }
+        out.push_str("],\n");
         out.push_str("  \"experiments\": [");
         for (i, e) in self.experiments.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             let _ = writeln!(out, "    {{");
             let _ = writeln!(out, "      \"name\": \"{}\",", escape(&e.name));
+            let _ = writeln!(
+                out,
+                "      \"status\": \"{}\",",
+                if e.error.is_some() { "failed" } else { "ok" }
+            );
+            if let Some(err) = &e.error {
+                let _ = writeln!(out, "      \"error\": \"{}\",", escape(err));
+            }
             let _ = writeln!(out, "      \"wall_seconds\": {},", number(e.wall_seconds));
             out.push_str("      \"metrics\": {");
             for (j, (k, v)) in e.metrics.iter().enumerate() {
@@ -96,6 +130,16 @@ impl Report {
 mod tests {
     use super::*;
 
+    fn assert_balanced(s: &str) {
+        // Brace/bracket balance as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                s.chars().filter(|&c| c == open).count(),
+                s.chars().filter(|&c| c == close).count()
+            );
+        }
+    }
+
     #[test]
     fn escaping_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
@@ -107,20 +151,37 @@ mod tests {
         let mut scale = Scale::quick();
         scale.threads = 4;
         let mut r = Report::new(&scale);
-        r.record("fig4", 1.25, vec![("fig4/stable_fraction".into(), 0.83)]);
-        r.record("empty", 0.5, vec![]);
+        r.record("fig4", 1.25, vec![("fig4/stable_fraction".into(), 0.83)], None);
+        r.record("empty", 0.5, vec![], None);
         let s = r.to_json();
         assert!(s.contains("\"threads\": 4"));
         assert!(s.contains("\"fig4/stable_fraction\": 0.83"));
         assert!(s.contains("\"wall_seconds\": 1.25"));
-        // Brace/bracket balance as a cheap well-formedness check.
-        for (open, close) in [('{', '}'), ('[', ']')] {
-            assert_eq!(
-                s.chars().filter(|&c| c == open).count(),
-                s.chars().filter(|&c| c == close).count()
-            );
-        }
+        assert!(s.contains("\"status\": \"ok\""));
+        assert!(s.contains("\"failed\": []"));
+        assert!(!r.has_failures());
+        assert_balanced(&s);
         assert!(!s.contains("NaN"));
         assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn failed_experiments_keep_partial_metrics_and_are_listed() {
+        let mut r = Report::new(&Scale::quick());
+        r.record("table1", 0.1, vec![("table1/rows".into(), 8.0)], None);
+        r.record(
+            "table2",
+            0.2,
+            vec![("table2/partial".into(), 1.0)],
+            Some("trial 3 (seed 0x0000000000000001) panicked: injected fault\n\"quoted\"".into()),
+        );
+        assert!(r.has_failures());
+        let s = r.to_json();
+        assert!(s.contains("\"failed\": [\"table2\"]"));
+        assert!(s.contains("\"status\": \"failed\""));
+        assert!(s.contains("injected fault\\n\\\"quoted\\\""), "error message is escaped: {s}");
+        // The failing experiment's pre-panic metrics stay on its own entry.
+        assert!(s.contains("\"table2/partial\": 1"));
+        assert_balanced(&s);
     }
 }

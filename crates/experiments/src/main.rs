@@ -2,10 +2,15 @@
 //! the paper's evaluation against the simulated substrate.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] [--threads N] [--json PATH] <experiment>...
+//! experiments [--quick] [--seed N] [--threads N] [--json PATH]
+//!             [--inject-fault NAME[:K]] <experiment>...
 //! experiments all            # everything, paper-scale (minutes)
 //! experiments --quick all    # everything, reduced scale (seconds)
 //! ```
+//!
+//! Selected experiments run in the order given on the command line;
+//! selecting one twice warns and runs it once. `--seed` accepts decimal or
+//! `0x`-prefixed hex.
 //!
 //! `--threads N` bounds the worker threads of trial-parallel experiments
 //! (default: all cores). Results are thread-count-invariant — every trial's
@@ -13,7 +18,18 @@
 //! (see `bscope-harness`) — so `--threads` only changes wall-clock.
 //!
 //! `--json PATH` writes a machine-readable report: per-experiment
-//! wall-clock seconds and the headline metrics each experiment records.
+//! wall-clock seconds, status, and the headline metrics each experiment
+//! records.
+//!
+//! Experiments are isolated from each other: a panic or typed error in one
+//! is caught, reported as a `"failed"` entry in the report, and the
+//! remaining experiments still run. The exit code is `0` when everything
+//! succeeded, `1` when any experiment failed (or the report could not be
+//! written), and `2` for usage errors.
+//!
+//! `--inject-fault NAME[:K]` deterministically injects a panic into the
+//! trial-parallel experiment `NAME` (trial 0, or every trial whose keyed
+//! hash is divisible by `K`) — an end-to-end test of the failure path.
 
 mod apps;
 mod capacity;
@@ -33,90 +49,293 @@ mod table1;
 mod table2;
 mod table3;
 
+use bscope_core::BscopeError;
+use bscope_harness::FaultPlan;
 use common::Scale;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// (CLI name, description, entry point) for one experiment.
-type Experiment = (&'static str, &'static str, fn(&Scale));
+/// One registered experiment.
+struct Experiment {
+    name: &'static str,
+    desc: &'static str,
+    run: fn(&Scale) -> Result<(), BscopeError>,
+    /// Whether the experiment fans trials out through `common::trials`
+    /// (and so honours `Scale::fault` / `--inject-fault`).
+    trial_parallel: bool,
+}
 
 const EXPERIMENTS: &[Experiment] = &[
-    ("fig2", "2-level predictor learning curve (Fig. 2)", fig2::run),
-    ("table1", "FSM transition / observation table (Table 1)", table1::run),
-    ("fig4", "randomization-block stability & state distribution (Fig. 4)", fig4::run),
-    ("fig5", "PHT granularity, size discovery and alignment (Fig. 5)", fig5::run),
-    ("fig6", "covert-channel decoding demonstration (Fig. 6)", fig6::run),
-    ("table2", "covert-channel error rates, 3 CPUs x 2 noise settings (Table 2)", table2::run),
-    ("fig7", "branch latency distributions, hit vs miss (Fig. 7)", fig7::run),
-    ("fig8", "timing-detection error vs number of measurements (Fig. 8)", fig8::run),
-    ("fig9", "probe latency by PHT state (Fig. 9)", fig9::run),
-    ("table3", "SGX covert-channel error rates (Table 3)", table3::run),
-    ("apps", "attack applications: Montgomery, libjpeg, ASLR (Sec. 9.2)", apps::run),
-    ("mitigations", "attack error under each defense (Sec. 10)", mitigation_table::run),
-    ("baselines", "BranchScope vs BTB-based attacks (Sec. 11)", related::run),
-    ("capacity", "EXTENSION: channel capacity vs noise and repetition coding", capacity::run),
-    ("sensitivity", "EXTENSION: error rate vs PHT size", sensitivity::run),
+    Experiment {
+        name: "fig2",
+        desc: "2-level predictor learning curve (Fig. 2)",
+        run: fig2::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "table1",
+        desc: "FSM transition / observation table (Table 1)",
+        run: table1::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "fig4",
+        desc: "randomization-block stability & state distribution (Fig. 4)",
+        run: fig4::run,
+        trial_parallel: true,
+    },
+    Experiment {
+        name: "fig5",
+        desc: "PHT granularity, size discovery and alignment (Fig. 5)",
+        run: fig5::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "fig6",
+        desc: "covert-channel decoding demonstration (Fig. 6)",
+        run: fig6::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "table2",
+        desc: "covert-channel error rates, 3 CPUs x 2 noise settings (Table 2)",
+        run: table2::run,
+        trial_parallel: true,
+    },
+    Experiment {
+        name: "fig7",
+        desc: "branch latency distributions, hit vs miss (Fig. 7)",
+        run: fig7::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "fig8",
+        desc: "timing-detection error vs number of measurements (Fig. 8)",
+        run: fig8::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "fig9",
+        desc: "probe latency by PHT state (Fig. 9)",
+        run: fig9::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "table3",
+        desc: "SGX covert-channel error rates (Table 3)",
+        run: table3::run,
+        trial_parallel: true,
+    },
+    Experiment {
+        name: "apps",
+        desc: "attack applications: Montgomery, libjpeg, ASLR (Sec. 9.2)",
+        run: apps::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "mitigations",
+        desc: "attack error under each defense (Sec. 10)",
+        run: mitigation_table::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "baselines",
+        desc: "BranchScope vs BTB-based attacks (Sec. 11)",
+        run: related::run,
+        trial_parallel: false,
+    },
+    Experiment {
+        name: "capacity",
+        desc: "EXTENSION: channel capacity vs noise and repetition coding",
+        run: capacity::run,
+        trial_parallel: true,
+    },
+    Experiment {
+        name: "sensitivity",
+        desc: "EXTENSION: error rate vs PHT size",
+        run: sensitivity::run,
+        trial_parallel: false,
+    },
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--threads N] [--json PATH] <experiment>|all ..."
+        "usage: experiments [--quick] [--seed N] [--threads N] [--json PATH] \
+         [--inject-fault NAME[:K]] <experiment>|all ..."
     );
     eprintln!("experiments:");
-    for (name, desc, _) in EXPERIMENTS {
-        eprintln!("  {name:<12} {desc}");
+    for e in EXPERIMENTS {
+        eprintln!("  {:<12} {}", e.name, e.desc);
     }
     std::process::exit(2);
 }
 
+/// Usage error: name what was wrong before printing the usage text, so a
+/// bad invocation says *which* flag or value failed, not just how to call
+/// the binary.
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage()
+}
+
+/// The value of `flag`, or a usage error naming the flag.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => fail_usage(&format!("{flag} requires a value")),
+    }
+}
+
+/// Parses an unsigned integer, accepting decimal and `0x`-prefixed hex
+/// (seeds are naturally written in hex — `--seed 0xB5C09E01`). A failure
+/// names the flag and the offending value.
+fn parse_u64(flag: &str, value: &str) -> u64 {
+    let (digits, radix) = match value.strip_prefix("0x").or_else(|| value.strip_prefix("0X")) {
+        Some(hex) => (hex, 16),
+        None => (value, 10),
+    };
+    u64::from_str_radix(digits, radix)
+        .unwrap_or_else(|e| fail_usage(&format!("invalid value '{value}' for {flag}: {e}")))
+}
+
+/// Stable name hash for the fault-plan salt, so the injected fault pattern
+/// of `--inject-fault NAME:K` is reproducible across runs.
+fn fault_salt(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1_0000_01b3)
+    })
+}
+
+/// Parses `--inject-fault NAME[:K]` into the target experiment name and a
+/// deterministic fault plan: bare `NAME` panics trial 0; `NAME:K` panics
+/// every trial whose seed-keyed hash is divisible by `K`.
+fn parse_fault(spec: &str) -> (&'static str, FaultPlan) {
+    let (name, plan) = match spec.split_once(':') {
+        Some((name, k)) => {
+            let k = match k.parse::<u64>() {
+                Ok(0) | Err(_) => fail_usage(&format!(
+                    "invalid value '{spec}' for --inject-fault: ':K' must be a positive integer"
+                )),
+                Ok(k) => k,
+            };
+            (name, FaultPlan::keyed(fault_salt(name)).panic_one_in(k))
+        }
+        None => (spec, FaultPlan::keyed(fault_salt(spec)).panic_on_index(0)),
+    };
+    let targets = || {
+        EXPERIMENTS
+            .iter()
+            .filter(|e| e.trial_parallel)
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    match EXPERIMENTS.iter().find(|e| e.name == name) {
+        Some(e) if e.trial_parallel => (e.name, plan),
+        Some(_) => fail_usage(&format!(
+            "invalid value '{spec}' for --inject-fault: '{name}' is not trial-parallel \
+             (valid targets: {})",
+            targets()
+        )),
+        None => fail_usage(&format!(
+            "invalid value '{spec}' for --inject-fault: unknown experiment '{name}' \
+             (valid targets: {})",
+            targets()
+        )),
+    }
+}
+
 fn main() {
     let mut scale = Scale::full();
-    let mut selected: Vec<&str> = Vec::new();
+    let mut selected: Vec<&Experiment> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut fault: Option<(&'static str, FaultPlan)> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => scale.quick = true,
-            "--seed" => {
-                i += 1;
-                let value = args.get(i).unwrap_or_else(|| usage());
-                scale.seed = value.parse().unwrap_or_else(|_| usage());
-            }
+            "--seed" => scale.seed = parse_u64("--seed", flag_value(&args, &mut i, "--seed")),
             "--threads" => {
-                i += 1;
-                let value = args.get(i).unwrap_or_else(|| usage());
-                scale.threads = value.parse().unwrap_or_else(|_| usage());
+                scale.threads =
+                    parse_u64("--threads", flag_value(&args, &mut i, "--threads")) as usize;
             }
-            "--json" => {
-                i += 1;
-                json_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            "--json" => json_path = Some(flag_value(&args, &mut i, "--json").to_owned()),
+            "--inject-fault" => {
+                fault = Some(parse_fault(flag_value(&args, &mut i, "--inject-fault")));
             }
             "--help" | "-h" => usage(),
-            name => selected.push(match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
-                Some((n, _, _)) => n,
-                None if name == "all" => "all",
-                None => usage(),
-            }),
+            flag if flag.starts_with("--") => fail_usage(&format!("unknown flag '{flag}'")),
+            // Experiments run in the order selected here, not registry
+            // order; duplicates warn and run once.
+            "all" => {
+                let mut added = false;
+                for e in EXPERIMENTS {
+                    if !selected.iter().any(|s| std::ptr::eq(*s, e)) {
+                        selected.push(e);
+                        added = true;
+                    }
+                }
+                if !added {
+                    eprintln!("warning: duplicate selection 'all' ignored");
+                }
+            }
+            name => match EXPERIMENTS.iter().find(|e| e.name == name) {
+                Some(e) if selected.iter().any(|s| std::ptr::eq(*s, e)) => {
+                    eprintln!("warning: duplicate selection '{name}' ignored");
+                }
+                Some(e) => selected.push(e),
+                None => fail_usage(&format!("unknown experiment '{name}'")),
+            },
         }
         i += 1;
     }
     if selected.is_empty() {
-        usage();
+        fail_usage("no experiments selected");
     }
-    let run_all = selected.contains(&"all");
-    let mut report = json::Report::new(&scale);
-    for (name, desc, run) in EXPERIMENTS {
-        if run_all || selected.contains(name) {
-            println!("==============================================================");
-            println!("{name}: {desc}");
-            println!("==============================================================");
-            common::drain_metrics(); // discard anything stale
-            let started = std::time::Instant::now();
-            run(&scale);
-            let elapsed = started.elapsed();
-            println!("[{name} finished in {elapsed:.1?}]\n");
-            report.record(name, elapsed.as_secs_f64(), common::drain_metrics());
+    if let Some((target, _)) = fault {
+        if !selected.iter().any(|e| e.name == target) {
+            eprintln!("warning: --inject-fault target '{target}' is not among the selected experiments");
         }
     }
+
+    let mut report = json::Report::new(&scale);
+    for exp in &selected {
+        println!("==============================================================");
+        println!("{}: {}", exp.name, exp.desc);
+        println!("==============================================================");
+        let mut scale_local = scale;
+        if let Some((target, plan)) = fault {
+            if target == exp.name {
+                scale_local.fault = Some(plan);
+            }
+        }
+        // Scope the metric sink to this experiment: metrics recorded before
+        // a mid-experiment failure belong to *its* report entry and must
+        // not leak into the next experiment's.
+        let scope = common::MetricScope::enter();
+        let started = std::time::Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| (exp.run)(&scale_local)));
+        let elapsed = started.elapsed();
+        let metrics = scope.finish();
+        let error = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(bscope_harness::panic_message(&*payload)),
+        };
+        match &error {
+            None => println!("[{} finished in {elapsed:.1?}]\n", exp.name),
+            Some(msg) => {
+                eprintln!("error: experiment '{}' failed: {msg}", exp.name);
+                println!("[{} FAILED after {elapsed:.1?}]\n", exp.name);
+            }
+        }
+        report.record(exp.name, elapsed.as_secs_f64(), metrics, error);
+    }
+
+    let any_failed = report.has_failures();
+    // The report is written even after failures: a partial report with
+    // `"status": "failed"` entries beats losing the completed experiments.
     if let Some(path) = json_path {
         match report.write_to(&path) {
             Ok(()) => println!("[wrote {path}]"),
@@ -125,5 +344,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if any_failed {
+        eprintln!("error: one or more experiments failed (see report entries above)");
+        std::process::exit(1);
     }
 }

@@ -2,9 +2,10 @@
 
 use crate::common::Scale;
 use bscope_bpu::MicroarchProfile;
+use bscope_core::BscopeError;
 use bscope_mitigations::{benign_overhead, evaluate, MeasurementFuzz, Mitigation};
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(3_000, 400);
     let profile = MicroarchProfile::skylake();
     println!("spy reading a victim's secret branch stream, {bits} bits, Skylake profile");
@@ -27,4 +28,5 @@ pub fn run(scale: &Scale) {
     }
     println!("\npaper (Sec. 10): all of these block the side channel; software-only schemes");
     println!("(if-conversion) and measurement fuzzing still leave covert channels possible.");
+    Ok(())
 }

@@ -3,8 +3,9 @@
 use crate::common::Scale;
 use bscope_baselines::compare_attacks;
 use bscope_bpu::MicroarchProfile;
+use bscope_core::BscopeError;
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(200, 40);
     println!("bit-recovery accuracy against the same secret-branch victim ({bits} bits),");
     println!("with and without the OS flushing the BTB on context switches\n");
@@ -17,4 +18,5 @@ pub fn run(scale: &Scale) {
         "reproduced: BranchScope keeps {:.1}% accuracy under the BTB defense.",
         100.0 * bscope.accuracy_btb_defended
     );
+    Ok(())
 }

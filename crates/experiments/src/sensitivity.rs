@@ -5,7 +5,7 @@
 use crate::common::Scale;
 use bscope_bpu::{CounterKind, Microarch, MicroarchProfile};
 use bscope_core::covert::CovertChannel;
-use bscope_core::AttackConfig;
+use bscope_core::{AttackConfig, BscopeError};
 use bscope_os::{AslrPolicy, System};
 use bscope_uarch::NoiseConfig;
 use rand::rngs::StdRng;
@@ -23,7 +23,7 @@ fn profile_with_pht(pht_size: usize) -> MicroarchProfile {
     }
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(6_000, 800);
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x5E5);
     let message: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
@@ -34,10 +34,10 @@ pub fn run(scale: &Scale) {
         let pht_size = 1usize << log2;
         let profile = profile_with_pht(pht_size);
         let mut sys = System::new(profile.clone(), scale.seed ^ log2 as u64)
-            .with_noise(NoiseConfig::system_activity());
+            .with_noise(NoiseConfig::system_activity())?;
         let sender = sys.spawn("trojan", AslrPolicy::Disabled);
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
-        let mut channel = CovertChannel::new(AttackConfig::for_profile(&profile)).expect("valid");
+        let mut channel = CovertChannel::new(AttackConfig::for_profile(&profile))?;
         let result = channel.transmit(&mut sys, sender, receiver, &message);
         println!("{pht_size:>10} {:>9.3}%", 100.0 * result.error_rate);
     }
@@ -45,4 +45,5 @@ pub fn run(scale: &Scale) {
     println!("probability that an unrelated branch lands on the attacked entry — and with");
     println!("it the channel's error rate — falls roughly inversely with the PHT size.");
     println!("This is the paper's Sandy Bridge (4K) vs Skylake/Haswell (16K) gap, swept.");
+    Ok(())
 }

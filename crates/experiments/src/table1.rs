@@ -3,7 +3,7 @@
 
 use crate::common::Scale;
 use bscope_bpu::{CounterKind, MicroarchProfile, PhtState};
-use bscope_core::{fsm_transition_row, probe_with_counters, table1, ProbeKind};
+use bscope_core::{fsm_transition_row, probe_with_counters, table1, BscopeError, ProbeKind};
 use bscope_os::{AslrPolicy, System};
 
 /// Empirically reproduces one Table 1 row on the simulated machine using
@@ -29,7 +29,7 @@ fn empirical_observation(
     probe_with_counters(&mut sys.cpu(pid), addr, probe)
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     for (label, profile) in [
         ("Haswell / Sandy Bridge (2-bit counter)", MicroarchProfile::haswell()),
         ("Skylake (asymmetric counter)", MicroarchProfile::skylake()),
@@ -78,4 +78,5 @@ pub fn run(scale: &Scale) {
         hsw.observation, sky.observation
     );
     println!("making ST and WT indistinguishable on Skylake — as the paper reports.");
+    Ok(())
 }

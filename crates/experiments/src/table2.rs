@@ -1,10 +1,10 @@
 //! Table 2: covert-channel error rates on three CPUs, isolated vs noisy.
 
-use crate::common::{metric, Scale};
+use crate::common::{metric, trials, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::covert::CovertChannel;
-use bscope_core::AttackConfig;
-use bscope_harness::{run_trials, splitmix64};
+use bscope_core::{AttackConfig, BscopeError};
+use bscope_harness::splitmix64;
 use bscope_os::{AslrPolicy, System};
 use bscope_uarch::NoiseConfig;
 use rand::rngs::StdRng;
@@ -38,7 +38,9 @@ fn one_run(
     bits: usize,
     seed: u64,
 ) -> f64 {
-    let mut sys = System::new(profile.clone(), seed).with_noise(noise.clone());
+    let mut sys = System::new(profile.clone(), seed)
+        .with_noise(noise.clone())
+        .expect("noise config validated before fan-out");
     let sender = sys.spawn("trojan", AslrPolicy::Disabled);
     let receiver = sys.spawn("spy", AslrPolicy::Disabled);
     let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x7AB1E2));
@@ -51,22 +53,32 @@ fn one_run(
 /// rates (in percent). All `6 rows x 3 payloads x runs` transmissions are
 /// independent trials fanned out over `scale.threads` workers; the result
 /// is identical for every thread count.
-pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Vec<(String, [f64; 3])> {
+///
+/// Channel and noise configurations are validated up front, outside the
+/// fan-out, so a misconfiguration is a typed error rather than a panic in
+/// some worker thread.
+pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<(String, [f64; 3])>, BscopeError> {
     let machines = MicroarchProfile::paper_machines();
     let settings =
         [("isolated", NoiseConfig::isolated_core()), ("with noise", NoiseConfig::system_activity())];
+    for machine in &machines {
+        CovertChannel::new(AttackConfig::for_profile(machine))?;
+    }
+    for (_, noise) in &settings {
+        noise.validate()?;
+    }
     // Cell order fixes trial indices (and so per-trial seeds): changing it
     // intentionally changes results, like any other seed-schedule change.
     let cells: Vec<(usize, usize, usize)> = (0..machines.len())
         .flat_map(|m| (0..settings.len()).flat_map(move |s| (0..PAYLOADS.len()).map(move |p| (m, s, p))))
         .collect();
 
-    let per_trial = run_trials(cells.len() * runs, scale.seed ^ 0x7AB2E2, scale.threads, |idx, seed| {
+    let per_trial = trials(scale, cells.len() * runs, 0x7AB2E2, |idx, seed| {
         let (m, s, p) = cells[idx / runs];
         one_run(&machines[m], &settings[s].1, PAYLOADS[p], bits, seed)
     });
 
-    cells
+    Ok(cells
         .chunks_exact(PAYLOADS.len())
         .enumerate()
         .map(|(row, row_cells)| {
@@ -79,10 +91,10 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Vec<(String, [f64; 3]
             }
             (format!("{} {}", machines[m].arch, settings[s].0), errors)
         })
-        .collect()
+        .collect())
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(20_000, 1_000);
     let runs = scale.n(10, 2);
     println!("average error rate transmitting {bits} bits per run, {runs} runs per cell\n");
@@ -98,7 +110,7 @@ pub fn run(scale: &Scale) {
         ("SB with noise (paper)", [1.76, 4.88, 3.38]),
     ];
 
-    let ours = compute(scale, bits, runs);
+    let ours = compute(scale, bits, runs)?;
 
     for (label, row) in &ours {
         println!("{:<26} {:>7.3}% {:>7.3}% {:>7.3}%", label, row[0], row[1], row[2]);
@@ -122,6 +134,7 @@ pub fn run(scale: &Scale) {
         "  isolated <= noisy on every machine: {}",
         sl.0 <= sl.1 && hw.0 <= hw.1 && sb.0 <= sb.1
     );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -134,10 +147,10 @@ mod tests {
     fn table_is_thread_count_invariant() {
         let mut scale = Scale::quick();
         scale.threads = 1;
-        let sequential = compute(&scale, 200, 2);
+        let sequential = compute(&scale, 200, 2).expect("valid preset configs");
         for threads in [2, 8] {
             scale.threads = threads;
-            assert_eq!(compute(&scale, 200, 2), sequential, "threads={threads}");
+            assert_eq!(compute(&scale, 200, 2).expect("valid preset configs"), sequential, "threads={threads}");
         }
     }
 
@@ -146,7 +159,7 @@ mod tests {
     /// drifts. Update deliberately when any of those changes.
     #[test]
     fn quick_scale_cell_is_pinned() {
-        let rows = compute(&Scale::quick(), 1_000, 2);
+        let rows = compute(&Scale::quick(), 1_000, 2).expect("valid preset configs");
         let (label, row) = &rows[0];
         assert_eq!(label, "Skylake isolated");
         // Pinned value; update deliberately when the seed schedule, the

@@ -1,10 +1,10 @@
 //! Table 3: covert channel with the trojan (sender) inside an SGX enclave.
 
-use crate::common::{metric, Scale};
+use crate::common::{metric, trials, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::covert::{CovertChannel, EnclaveSender};
-use bscope_core::AttackConfig;
-use bscope_harness::{run_trials, splitmix64};
+use bscope_core::{AttackConfig, BscopeError};
+use bscope_harness::splitmix64;
 use bscope_os::{AslrPolicy, Enclave, EnclaveController, System};
 use bscope_uarch::NoiseConfig;
 use rand::rngs::StdRng;
@@ -28,7 +28,7 @@ fn random(n: usize, rng: &mut StdRng) -> Vec<bool> {
 fn one_run(noise: Option<&NoiseConfig>, payload: PayloadFn, bits: usize, seed: u64) -> f64 {
     let profile = MicroarchProfile::skylake();
     let mut sys = System::new(profile.clone(), seed);
-    sys.set_noise(noise.cloned());
+    sys.set_noise(noise.cloned()).expect("noise config validated before fan-out");
     let receiver = sys.spawn("spy", AslrPolicy::Disabled);
     let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x561));
     let secret = payload(bits, &mut rng);
@@ -44,19 +44,25 @@ fn one_run(noise: Option<&NoiseConfig>, payload: PayloadFn, bits: usize, seed: u
 
 /// Computes both table rows (error rates in percent): all
 /// `2 settings x 3 payloads x runs` transmissions run as independent
-/// trials on the deterministic parallel runner.
-pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Vec<[f64; 3]> {
+/// trials on the deterministic parallel runner. Channel and noise
+/// configurations are validated before the fan-out, so a bad config is a
+/// typed error instead of a worker-thread panic.
+pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<[f64; 3]>, BscopeError> {
     let settings: [Option<NoiseConfig>; 2] = [Some(NoiseConfig::system_activity()), None];
     let payloads: [PayloadFn; 3] = [all0, all1, random];
     let cells = settings.len() * payloads.len();
+    CovertChannel::new(AttackConfig::for_profile(&MicroarchProfile::skylake()))?;
+    for noise in settings.iter().flatten() {
+        noise.validate()?;
+    }
 
-    let per_trial = run_trials(cells * runs, scale.seed ^ 0x560, scale.threads, |idx, seed| {
+    let per_trial = trials(scale, cells * runs, 0x560, |idx, seed| {
         let cell = idx / runs;
         let noise = settings[cell / payloads.len()].as_ref();
         one_run(noise, payloads[cell % payloads.len()], bits, seed)
     });
 
-    (0..settings.len())
+    Ok((0..settings.len())
         .map(|s| {
             let mut row = [0.0f64; 3];
             for (p, err) in row.iter_mut().enumerate() {
@@ -66,17 +72,17 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Vec<[f64; 3]> {
             }
             row
         })
-        .collect()
+        .collect())
 }
 
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(20_000, 1_000);
     let runs = scale.n(10, 2);
     println!("Skylake, sender inside an SGX enclave single-stepped by a malicious OS;");
     println!("{bits} bits per run, {runs} runs per cell\n");
 
     println!("{:<26} {:>8} {:>8} {:>8}", "", "All 0", "All 1", "Random");
-    let rows = compute(scale, bits, runs);
+    let rows = compute(scale, bits, runs)?;
     for (label, row) in ["SGX with noise", "SGX isolated"].iter().zip(&rows) {
         println!("{label:<26} {:>7.3}% {:>7.3}% {:>7.3}%", row[0], row[1], row[2]);
         for (payload, err) in ["all0", "all1", "random"].iter().zip(row) {
@@ -94,6 +100,7 @@ pub fn run(scale: &Scale) {
         avg(&rows[1]) <= avg(&rows[0])
     );
     println!("  isolated SGX error near zero: {}", avg(&rows[1]) < 0.1);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -104,10 +111,10 @@ mod tests {
     fn table_is_thread_count_invariant() {
         let mut scale = Scale::quick();
         scale.threads = 1;
-        let sequential = compute(&scale, 200, 2);
+        let sequential = compute(&scale, 200, 2).expect("valid preset configs");
         for threads in [2, 8] {
             scale.threads = threads;
-            assert_eq!(compute(&scale, 200, 2), sequential, "threads={threads}");
+            assert_eq!(compute(&scale, 200, 2).expect("valid preset configs"), sequential, "threads={threads}");
         }
     }
 }

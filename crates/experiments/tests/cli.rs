@@ -1,0 +1,171 @@
+//! End-to-end tests of the `experiments` binary: CLI parsing (hex seeds,
+//! named errors, duplicate warnings, user-ordered selection), experiment
+//! isolation under injected faults, and the partial `--json` report.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn run(args: &[&str]) -> Output {
+    experiments().args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch path inside the target directory (kept out of the source tree).
+fn scratch(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_BIN_EXE_experiments"));
+    p.pop();
+    p.push(name);
+    p
+}
+
+/// Cheap well-formedness check for the hand-rolled JSON.
+fn assert_balanced(s: &str) {
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(
+            s.chars().filter(|&c| c == open).count(),
+            s.chars().filter(|&c| c == close).count(),
+            "unbalanced {open}{close} in report:\n{s}"
+        );
+    }
+}
+
+#[test]
+fn hex_and_decimal_seeds_agree() {
+    let hex = run(&["--quick", "--seed", "0xB5C09E01", "--threads", "2", "table1"]);
+    let dec = run(&["--quick", "--seed", "3049299457", "--threads", "2", "table1"]);
+    assert!(hex.status.success(), "hex seed run failed: {}", stderr(&hex));
+    assert!(dec.status.success());
+    // Wall-clock lines differ between any two runs; everything else is
+    // deterministic and must match.
+    let strip = |out: &Output| {
+        stdout(out).lines().filter(|l| !l.contains("finished in")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(strip(&hex), strip(&dec), "0xB5C09E01 and 3049299457 must be the same seed");
+}
+
+#[test]
+fn bad_flag_values_name_the_flag_before_usage() {
+    let out = run(&["--seed", "xyz", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error: invalid value 'xyz' for --seed"), "stderr: {err}");
+    assert!(err.contains("usage:"), "usage follows the error: {err}");
+    let error_at = err.find("error:").unwrap();
+    let usage_at = err.find("usage:").unwrap();
+    assert!(error_at < usage_at, "the specific error precedes the usage text");
+
+    let out = run(&["--threads", "two", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("invalid value 'two' for --threads"), "{}", stderr(&out));
+
+    let out = run(&["table1", "--seed"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--seed requires a value"), "{}", stderr(&out));
+
+    let out = run(&["nonesuch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown experiment 'nonesuch'"), "{}", stderr(&out));
+
+    let out = run(&["--frobnicate", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag '--frobnicate'"), "{}", stderr(&out));
+}
+
+#[test]
+fn inject_fault_rejects_invalid_targets() {
+    let out = run(&["--quick", "--inject-fault", "fig2", "fig2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("'fig2' is not trial-parallel"), "stderr: {err}");
+    assert!(err.contains("table2"), "valid targets are listed: {err}");
+
+    let out = run(&["--quick", "--inject-fault", "table2:0", "table2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("':K' must be a positive integer"), "{}", stderr(&out));
+}
+
+#[test]
+fn selection_is_user_ordered_and_duplicates_warn() {
+    let out = run(&["--quick", "table1", "fig2", "table1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("warning: duplicate selection 'table1' ignored"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    let table1_at = text.find("table1: FSM transition").expect("table1 header");
+    let fig2_at = text.find("fig2: 2-level predictor").expect("fig2 header");
+    assert!(table1_at < fig2_at, "experiments run in the order given, not registry order");
+    assert_eq!(text.matches("table1: FSM transition").count(), 1, "duplicate runs once");
+}
+
+#[test]
+fn injected_fault_isolates_the_experiment_and_writes_a_partial_report() {
+    let json = scratch("cli_fault_report.json");
+    let json_str = json.to_str().unwrap();
+    let out = run(&[
+        "--quick",
+        "--threads",
+        "2",
+        "--json",
+        json_str,
+        "--inject-fault",
+        "table2",
+        "table2",
+        "table1",
+    ]);
+    // A failed experiment means a nonzero exit, but the run continues...
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("[table2 FAILED"), "failure is announced: {text}");
+    assert!(text.contains("[table1 finished"), "later experiments still run: {text}");
+    let err = stderr(&out);
+    assert!(err.contains("injected fault"), "failure cause is reported: {err}");
+    assert!(err.contains("trial 0"), "failing trial index is reported: {err}");
+
+    // ...and the partial report is written and well-formed.
+    let report = std::fs::read_to_string(&json).expect("partial report written");
+    std::fs::remove_file(&json).ok();
+    assert_balanced(&report);
+    assert!(report.contains("\"failed\": [\"table2\"]"), "report: {report}");
+    assert!(report.contains("\"status\": \"failed\""), "report: {report}");
+    assert!(report.contains("injected fault"), "report carries the cause: {report}");
+    assert!(report.contains("\"name\": \"table1\""), "completed experiment present: {report}");
+    assert!(report.contains("\"status\": \"ok\""), "completed experiment ok: {report}");
+    // table1's metrics must not be polluted by table2's pre-panic metrics:
+    // split per entry and check metric keys stay with their experiment.
+    let table1_entry = report.split("\"name\": \"table1\"").nth(1).expect("table1 entry");
+    assert!(!table1_entry.contains("table2/"), "no metric leak across experiments: {report}");
+}
+
+#[test]
+fn fault_free_runs_are_unaffected_by_fault_plumbing() {
+    let json_a = scratch("cli_nofault_a.json");
+    let json_b = scratch("cli_nofault_b.json");
+    let base = ["--quick", "--seed", "0xB5C09E01", "table2"];
+    let a = experiments().args(base).args(["--threads", "1", "--json", json_a.to_str().unwrap()]).output().unwrap();
+    let b = experiments().args(base).args(["--threads", "8", "--json", json_b.to_str().unwrap()]).output().unwrap();
+    assert!(a.status.success() && b.status.success());
+    let strip = |p: &PathBuf| {
+        let s = std::fs::read_to_string(p).unwrap();
+        std::fs::remove_file(p).ok();
+        // Only wall-clock and the echoed thread count may differ.
+        s.lines()
+            .filter(|l| !l.contains("wall_seconds") && !l.contains("\"threads\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&json_a), strip(&json_b), "metrics identical across thread counts");
+}

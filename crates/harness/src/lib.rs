@@ -1,4 +1,4 @@
-//! Deterministic parallel trial-runner.
+//! Deterministic parallel trial-runner with panic isolation.
 //!
 //! Every experiment in this repo is a Monte Carlo loop: run N independent
 //! simulated trials, aggregate. This crate runs those trials across
@@ -17,12 +17,34 @@
 //!
 //! Work distribution is a shared atomic counter, so long and short trials
 //! interleave without any static partitioning assumptions.
+//!
+//! # Fault tolerance
+//!
+//! A panicking trial no longer takes the whole run (or process) down
+//! silently. Every trial body executes under [`std::panic::catch_unwind`];
+//! what happens next is governed by a [`FaultPolicy`]:
+//!
+//! * [`FaultPolicy::Propagate`] (the [`run_trials`] default) re-raises the
+//!   panic of the lowest-index failed trial, with the trial index and seed
+//!   prepended so the failure is attributable and replayable;
+//! * [`FaultPolicy::RecordAndSkip`] records each failure as a
+//!   [`TrialError`] and keeps going; the resulting [`TrialReport`] (a
+//!   `None` slot per failed trial plus the index-sorted failure list) is
+//!   bit-identical across thread counts, because trial seeds — and
+//!   therefore which trials fail — never depend on scheduling.
+//!
+//! [`FaultPlan`] provides deterministic fault *injection* for exercising
+//! these paths in CI: per-trial panic/delay decisions keyed off the trial
+//! seed, so an injected fault fires on the same trials for every thread
+//! count.
 
 #![forbid(unsafe_code)]
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// SplitMix64 mixing step: maps any `u64` to a well-scrambled `u64`.
 ///
@@ -60,6 +82,280 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// What the runner does when a trial panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Re-raise the panic of the lowest-index failed trial, with the trial
+    /// index and seed prepended to the payload. This is the behaviour of
+    /// the plain [`run_trials`] entry point.
+    #[default]
+    Propagate,
+    /// Record each failure as a [`TrialError`], leave `None` in that
+    /// trial's result slot, and keep running the remaining trials. The
+    /// resulting [`TrialReport`] is bit-identical across thread counts.
+    RecordAndSkip,
+}
+
+/// One trial's failure: which trial, its (replayable) seed, and the panic
+/// payload rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialError {
+    /// Index of the failed trial.
+    pub index: usize,
+    /// The seed the trial ran with (`trial_seed(base_seed, index)`), so the
+    /// failure can be replayed in isolation.
+    pub seed: u64,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case), or a placeholder otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} (seed {:#018x}) panicked: {}", self.index, self.seed, self.message)
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+/// Renders a `catch_unwind` payload as text (`&str` / `String` payloads
+/// verbatim, anything else as a placeholder).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Outcome of a [`run_trials_with`] run: per-trial results in trial order
+/// (`None` where the trial panicked under [`FaultPolicy::RecordAndSkip`])
+/// plus the failures sorted by trial index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialReport<T> {
+    /// One slot per trial, in trial order; `None` marks a skipped failure.
+    pub results: Vec<Option<T>>,
+    /// All trial failures, sorted by trial index.
+    pub failures: Vec<TrialError>,
+}
+
+impl<T> TrialReport<T> {
+    /// `true` when every trial produced a result.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Unwraps a fully successful report into the plain result vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first failure if any trial failed.
+    #[must_use]
+    pub fn expect_complete(self) -> Vec<T> {
+        if let Some(first) = self.failures.first() {
+            panic!("{first}");
+        }
+        self.results.into_iter().map(|r| r.expect("complete report has all results")).collect()
+    }
+}
+
+/// Deterministic per-trial fault injection: panic and/or delay decisions
+/// keyed off the trial seed (and optionally a specific trial index), so an
+/// injected fault fires on the same trials regardless of thread count.
+///
+/// Delays perturb *scheduling* without touching results — useful for
+/// demonstrating that [`FaultPolicy::RecordAndSkip`] output really is
+/// invariant under worker-interleaving changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    salt: u64,
+    panic_one_in: u64,
+    panic_on_index: Option<usize>,
+    delay_one_in: u64,
+    delay_micros: u64,
+}
+
+/// Prefix of every panic message raised by [`FaultPlan::apply`].
+pub const INJECTED_FAULT_PREFIX: &str = "injected fault";
+
+impl FaultPlan {
+    /// An inert plan (injects nothing) keyed with `salt`; chain the
+    /// builder methods to arm it.
+    #[must_use]
+    pub fn keyed(salt: u64) -> Self {
+        FaultPlan { salt, panic_one_in: 0, panic_on_index: None, delay_one_in: 0, delay_micros: 0 }
+    }
+
+    /// Panic on roughly one in `one_in` trials, selected by the trial seed
+    /// (`0` disables seed-keyed panics).
+    #[must_use]
+    pub fn panic_one_in(mut self, one_in: u64) -> Self {
+        self.panic_one_in = one_in;
+        self
+    }
+
+    /// Panic on exactly the trial with this index.
+    #[must_use]
+    pub fn panic_on_index(mut self, index: usize) -> Self {
+        self.panic_on_index = Some(index);
+        self
+    }
+
+    /// Sleep `micros` on roughly one in `one_in` trials (seed-keyed), to
+    /// shake worker scheduling without changing any result.
+    #[must_use]
+    pub fn delay_one_in(mut self, one_in: u64, micros: u64) -> Self {
+        self.delay_one_in = one_in;
+        self.delay_micros = micros;
+        self
+    }
+
+    /// Whether the plan panics this trial. Pure function of `(index, seed)`.
+    #[must_use]
+    pub fn should_panic(&self, index: usize, seed: u64) -> bool {
+        if self.panic_on_index == Some(index) {
+            return true;
+        }
+        self.panic_one_in > 0 && splitmix64(seed ^ self.salt).is_multiple_of(self.panic_one_in)
+    }
+
+    /// Applies the plan to one trial: possibly sleeps, then possibly
+    /// panics with a message carrying the trial index and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`FaultPlan::should_panic`] selects this trial — that
+    /// is the plan's entire purpose.
+    pub fn apply(&self, index: usize, seed: u64) {
+        if self.delay_one_in > 0
+            && self.delay_micros > 0
+            && splitmix64(seed ^ self.salt ^ 0xDE1A).is_multiple_of(self.delay_one_in)
+        {
+            std::thread::sleep(Duration::from_micros(self.delay_micros));
+        }
+        if self.should_panic(index, seed) {
+            panic!("{INJECTED_FAULT_PREFIX} at trial {index} (seed {seed:#018x})");
+        }
+    }
+}
+
+/// Options for [`run_trials_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// What to do when a trial panics.
+    pub policy: FaultPolicy,
+    /// Optional deterministic fault injection applied before each trial.
+    pub fault: Option<FaultPlan>,
+}
+
+/// Runs `n` independent trials of `f` and returns a [`TrialReport`]:
+/// results in trial order, with panicking trials handled per
+/// `opts.policy`. See [`run_trials`] for the seed/threading contract.
+///
+/// # Panics
+///
+/// Under [`FaultPolicy::Propagate`], re-raises the panic of the
+/// lowest-index failed trial with its index and seed prepended.
+pub fn run_trials_with<T, F>(n: usize, base_seed: u64, opts: &RunOptions, f: F) -> TrialReport<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let threads = resolve_threads(opts.threads).min(n.max(1));
+    // Runs one trial under catch_unwind. `AssertUnwindSafe` is sound here
+    // for the same reason it is in rayon-style runners: on Err we either
+    // abort the whole run (Propagate) or record the failure and never read
+    // this trial's partial state — each trial owns its state, derived only
+    // from (index, seed).
+    let one_trial = |idx: usize| -> Result<T, TrialError> {
+        let seed = trial_seed(base_seed, idx as u64);
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &opts.fault {
+                plan.apply(idx, seed);
+            }
+            f(idx, seed)
+        }))
+        .map_err(|payload| TrialError { index: idx, seed, message: panic_message(&*payload) })
+    };
+
+    let mut failures: Vec<TrialError>;
+    let results: Vec<Option<T>>;
+    if threads <= 1 {
+        failures = Vec::new();
+        let mut out = Vec::with_capacity(n);
+        for idx in 0..n {
+            match one_trial(idx) {
+                Ok(v) => out.push(Some(v)),
+                Err(e) => {
+                    if opts.policy == FaultPolicy::Propagate {
+                        panic!("{e}");
+                    }
+                    failures.push(e);
+                    out.push(None);
+                }
+            }
+        }
+        results = out;
+    } else {
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let failed: Mutex<Vec<TrialError>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    match one_trial(idx) {
+                        Ok(v) => *slots[idx].lock().expect("trial slot poisoned") = Some(v),
+                        Err(e) => {
+                            failed.lock().expect("failure list poisoned").push(e);
+                            if opts.policy == FaultPolicy::Propagate {
+                                // No point finishing the run we are about
+                                // to abandon; results are discarded.
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        failures = failed.into_inner().expect("failure list poisoned");
+        failures.sort_by_key(|e| e.index);
+        if opts.policy == FaultPolicy::Propagate {
+            if let Some(first) = failures.first() {
+                panic!("{first}");
+            }
+        }
+        results = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("trial slot poisoned"))
+            .collect();
+    }
+
+    if opts.policy == FaultPolicy::RecordAndSkip {
+        debug_assert!(
+            results.iter().filter(|r| r.is_none()).count() == failures.len(),
+            "every empty slot must have a matching failure"
+        );
+    }
+    TrialReport { results, failures }
+}
+
 /// Runs `n` independent trials of `f` on `threads` worker threads and
 /// returns the results in trial order.
 ///
@@ -70,42 +366,21 @@ pub fn resolve_threads(requested: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any trial.
+/// A panicking trial is re-raised with its trial index and seed prepended
+/// ([`FaultPolicy::Propagate`]); use [`run_trials_with`] to record and
+/// skip failures instead.
 pub fn run_trials<T, F>(n: usize, base_seed: u64, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 {
-        return (0..n).map(|idx| f(idx, trial_seed(base_seed, idx as u64))).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let result = f(idx, trial_seed(base_seed, idx as u64));
-                *slots[idx].lock().expect("trial slot poisoned") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(idx, slot)| {
-            slot.into_inner()
-                .expect("trial slot poisoned")
-                .unwrap_or_else(|| panic!("trial {idx} produced no result"))
-        })
-        .collect()
+    run_trials_with(
+        n,
+        base_seed,
+        &RunOptions { threads, policy: FaultPolicy::Propagate, fault: None },
+        f,
+    )
+    .expect_complete()
 }
 
 #[cfg(test)]
@@ -189,5 +464,91 @@ mod tests {
         let out = run_trials(3, 11, 64, |idx, seed| (idx, seed));
         assert_eq!(out.len(), 3);
         assert_eq!(out[2].1, trial_seed(11, 2));
+    }
+
+    // --- fault tolerance ---
+
+    /// Runs `body` under catch_unwind and returns the panic payload text.
+    fn panic_text(body: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = catch_unwind(body).expect_err("body must panic");
+        panic_message(&*payload)
+    }
+
+    #[test]
+    fn propagating_panic_names_trial_index_and_seed() {
+        for threads in [1, 4] {
+            let msg = panic_text(move || {
+                let _ = run_trials(16, 0xB5C0_9E01, threads, |idx, _seed| {
+                    assert!(idx != 7, "boom");
+                    idx
+                });
+            });
+            let seed = trial_seed(0xB5C0_9E01, 7);
+            assert!(msg.contains("trial 7"), "missing index in: {msg}");
+            assert!(msg.contains(&format!("{seed:#018x}")), "missing seed in: {msg}");
+            assert!(msg.contains("boom"), "missing payload in: {msg}");
+        }
+    }
+
+    #[test]
+    fn skip_policy_records_failures_and_keeps_going() {
+        let opts = RunOptions { threads: 1, policy: FaultPolicy::RecordAndSkip, fault: None };
+        let report = run_trials_with(10, 3, &opts, |idx, _seed| {
+            assert!(idx % 4 != 1, "trial dies");
+            idx * 2
+        });
+        assert_eq!(report.failures.len(), 3); // trials 1, 5, 9
+        assert_eq!(report.failures.iter().map(|e| e.index).collect::<Vec<_>>(), vec![1, 5, 9]);
+        for e in &report.failures {
+            assert_eq!(e.seed, trial_seed(3, e.index as u64));
+            assert!(e.message.contains("trial dies"));
+        }
+        assert_eq!(report.results.len(), 10);
+        assert!(report.results[1].is_none() && report.results[5].is_none());
+        assert_eq!(report.results[2], Some(4));
+        assert!(!report.is_complete());
+    }
+
+    #[test]
+    fn skip_policy_output_is_thread_count_invariant() {
+        // Panics are seed-keyed and a seed-keyed delay shakes scheduling;
+        // the report must still be identical for every thread count.
+        let plan = FaultPlan::keyed(0xFA17).panic_one_in(5).delay_one_in(3, 200);
+        let run = |threads| {
+            let opts = RunOptions { threads, policy: FaultPolicy::RecordAndSkip, fault: Some(plan) };
+            run_trials_with(48, 0xB5C0_9E01, &opts, |idx, seed| (idx, splitmix64(seed)))
+        };
+        let reference = run(1);
+        assert!(!reference.is_complete(), "plan should fault some trials");
+        assert!(reference.failures.len() < 48, "plan should not fault every trial");
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_targeted() {
+        let plan = FaultPlan::keyed(9).panic_on_index(4);
+        assert!(plan.should_panic(4, 12345));
+        assert!(!plan.should_panic(5, 12345));
+        let msg = panic_text(move || plan.apply(4, trial_seed(1, 4)));
+        assert!(msg.starts_with(INJECTED_FAULT_PREFIX));
+        assert!(msg.contains("trial 4"));
+
+        // Seed-keyed selection is a pure function of the seed.
+        let keyed = FaultPlan::keyed(0xAB).panic_one_in(4);
+        let hits: Vec<bool> = (0..64).map(|i| keyed.should_panic(i, trial_seed(7, i as u64))).collect();
+        assert_eq!(
+            hits,
+            (0..64).map(|i| keyed.should_panic(i, trial_seed(7, i as u64))).collect::<Vec<_>>()
+        );
+        assert!(hits.iter().any(|&h| h) && !hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn trial_error_display_is_replayable() {
+        let e = TrialError { index: 12, seed: 0xABCD, message: "oops".into() };
+        let s = e.to_string();
+        assert!(s.contains("trial 12") && s.contains("0x000000000000abcd") && s.contains("oops"));
     }
 }

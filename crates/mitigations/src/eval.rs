@@ -145,7 +145,7 @@ pub fn evaluate(
             ));
         }
         Mitigation::NoisyMeasurements(fuzz) => {
-            sys.set_measurement_fuzz(Some(*fuzz));
+            sys.set_measurement_fuzz(Some(*fuzz)).expect("evaluated fuzz configs are valid");
         }
         Mitigation::StochasticFsm { skip_probability } => {
             sys.set_policy(Box::new(crate::stochastic_fsm::StochasticFsmPolicy::new(

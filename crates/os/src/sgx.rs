@@ -140,7 +140,7 @@ impl EnclaveController {
     /// The attacker-controlled OS prevents other processes from running —
     /// removing the noise source entirely (Table 3, "SGX isolated").
     pub fn suppress_noise(&self, sys: &mut System) {
-        sys.set_noise(None);
+        sys.set_noise(None).expect("disabling noise is always valid");
     }
 }
 
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn suppress_noise_silences_background() {
         let mut sys =
-            System::new(MicroarchProfile::skylake(), 4).with_noise(NoiseConfig::heavy());
+            System::new(MicroarchProfile::skylake(), 4).with_noise(NoiseConfig::heavy()).unwrap();
         let p = sys.spawn("spy", AslrPolicy::Disabled);
         EnclaveController::new().suppress_noise(&mut sys);
         let before = sys.core().bpu().stats().branches;

@@ -69,17 +69,30 @@ impl System {
     }
 
     /// Enables or disables background noise on every core.
-    pub fn set_noise(&mut self, noise: Option<NoiseConfig>) {
-        for core in &mut self.cores {
-            core.set_noise(noise.clone());
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`bscope_uarch::ConfigError`] from
+    /// [`NoiseConfig::validate`]; no core's configuration is changed.
+    pub fn set_noise(&mut self, noise: Option<NoiseConfig>) -> Result<(), bscope_uarch::ConfigError> {
+        if let Some(cfg) = &noise {
+            cfg.validate()?;
         }
+        for core in &mut self.cores {
+            core.set_noise(noise.clone()).expect("validated above");
+        }
+        Ok(())
     }
 
     /// Builder-style noise configuration.
-    #[must_use]
-    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
-        self.set_noise(Some(noise));
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`bscope_uarch::ConfigError`] from
+    /// [`NoiseConfig::validate`].
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Result<Self, bscope_uarch::ConfigError> {
+        self.set_noise(Some(noise))?;
+        Ok(self)
     }
 
     /// Installs a hardware mitigation policy on the primary core (§10.2).
@@ -90,13 +103,22 @@ impl System {
     /// Installs or removes measurement-channel fuzzing on every core
     /// (§10.2).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid.
-    pub fn set_measurement_fuzz(&mut self, fuzz: Option<bscope_uarch::MeasurementFuzz>) {
-        for core in &mut self.cores {
-            core.set_measurement_fuzz(fuzz);
+    /// Returns the [`bscope_uarch::ConfigError`] from
+    /// [`bscope_uarch::MeasurementFuzz::validate`]; no core's
+    /// configuration is changed.
+    pub fn set_measurement_fuzz(
+        &mut self,
+        fuzz: Option<bscope_uarch::MeasurementFuzz>,
+    ) -> Result<(), bscope_uarch::ConfigError> {
+        if let Some(f) = &fuzz {
+            f.validate()?;
         }
+        for core in &mut self.cores {
+            core.set_measurement_fuzz(fuzz).expect("validated above");
+        }
+        Ok(())
     }
 
     /// Spawns a process on core 0 and returns its pid.

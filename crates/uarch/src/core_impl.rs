@@ -104,33 +104,43 @@ impl SimCore {
     /// Installs measurement-channel fuzzing (noisy counters/timers, §10.2),
     /// or removes it with `None`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`MeasurementFuzz::validate`].
-    pub fn set_measurement_fuzz(&mut self, fuzz: Option<MeasurementFuzz>) {
+    /// Returns the [`ConfigError`] from [`MeasurementFuzz::validate`],
+    /// leaving the previous fuzz configuration in place.
+    pub fn set_measurement_fuzz(
+        &mut self,
+        fuzz: Option<MeasurementFuzz>,
+    ) -> Result<(), crate::ConfigError> {
         if let Some(f) = &fuzz {
-            f.validate().expect("invalid measurement fuzz");
+            f.validate()?;
         }
         self.fuzz = fuzz;
+        Ok(())
     }
 
     /// Enables background (SMT sibling) noise; pass `None` to disable.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`NoiseConfig::validate`].
-    pub fn set_noise(&mut self, noise: Option<NoiseConfig>) {
+    /// Returns the [`ConfigError`] from [`NoiseConfig::validate`], leaving
+    /// the previous noise configuration in place.
+    pub fn set_noise(&mut self, noise: Option<NoiseConfig>) -> Result<(), crate::ConfigError> {
         if let Some(cfg) = &noise {
-            cfg.validate().expect("invalid noise configuration");
+            cfg.validate()?;
         }
         self.noise = noise.as_ref().map(NoiseParams::from);
+        Ok(())
     }
 
     /// Builder-style variant of [`SimCore::set_noise`].
-    #[must_use]
-    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
-        self.set_noise(Some(noise));
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`NoiseConfig::validate`].
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Result<Self, crate::ConfigError> {
+        self.set_noise(Some(noise))?;
+        Ok(self)
     }
 
     /// The microarchitecture profile of this core.
@@ -371,7 +381,7 @@ mod tests {
 
     #[test]
     fn noise_perturbs_bpu_but_not_counters() {
-        let mut c = core().with_noise(NoiseConfig::heavy());
+        let mut c = core().with_noise(NoiseConfig::heavy()).unwrap();
         let before_btb = c.bpu().btb().occupancy();
         for i in 0..200 {
             c.execute_branch(0x5000 + i * 7, Outcome::NotTaken);
@@ -388,7 +398,7 @@ mod tests {
     fn noise_burst_requires_configuration() {
         let mut c = core();
         assert_eq!(c.inject_noise_burst(10), 0, "no noise configured");
-        c.set_noise(Some(NoiseConfig::system_activity()));
+        c.set_noise(Some(NoiseConfig::system_activity())).unwrap();
         assert_eq!(c.inject_noise_burst(10), 10);
     }
 
@@ -396,7 +406,8 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
             let mut c = SimCore::new(MicroarchProfile::skylake(), seed)
-                .with_noise(NoiseConfig::system_activity());
+                .with_noise(NoiseConfig::system_activity())
+                .unwrap();
             (0..100)
                 .map(|i| c.execute_branch(0x9000 + i * 3, Outcome::from_bool(i % 3 == 0)).latency)
                 .collect::<Vec<_>>()

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
 mod core_impl;
 mod counters;
 mod event;
@@ -40,6 +41,7 @@ mod noise;
 mod policy;
 mod timing;
 
+pub use config::ConfigError;
 pub use core_impl::{ContextId, SimCore, NOISE_CTX};
 pub use policy::{BpuPolicy, MeasurementFuzz, NoPolicy};
 pub use counters::PerfCounters;

@@ -1,5 +1,6 @@
 //! Background (SMT sibling / system) activity configuration.
 
+use crate::config::ConfigError;
 use std::ops::Range;
 
 /// Configuration of background branch activity sharing the core's BPU.
@@ -54,19 +55,26 @@ impl NoiseConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`ConfigError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.branches_per_kcycle.is_finite() || self.branches_per_kcycle < 0.0 {
-            return Err(format!(
-                "branches_per_kcycle {} must be finite and >= 0",
-                self.branches_per_kcycle
-            ));
+            return Err(ConfigError::OutOfRange {
+                config: "NoiseConfig",
+                field: "branches_per_kcycle",
+                value: self.branches_per_kcycle,
+                constraint: "finite and >= 0",
+            });
         }
         if self.addr_range.is_empty() {
-            return Err("addr_range must be non-empty".to_owned());
+            return Err(ConfigError::EmptyAddrRange { config: "NoiseConfig", field: "addr_range" });
         }
         if !(0.0..=1.0).contains(&self.taken_bias) {
-            return Err(format!("taken_bias {} must be in [0,1]", self.taken_bias));
+            return Err(ConfigError::OutOfRange {
+                config: "NoiseConfig",
+                field: "taken_bias",
+                value: self.taken_bias,
+                constraint: "within [0, 1]",
+            });
         }
         Ok(())
     }
@@ -93,17 +101,22 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_bad_fields() {
+    fn validate_rejects_bad_fields_with_typed_errors() {
         let mut c = NoiseConfig::system_activity();
         c.branches_per_kcycle = -1.0;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfRange { field: "branches_per_kcycle", .. })
+        ));
 
         let mut c = NoiseConfig::system_activity();
         c.addr_range = 5..5;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(ConfigError::EmptyAddrRange { .. })));
 
         let mut c = NoiseConfig::system_activity();
         c.taken_bias = 1.5;
-        assert!(c.validate().is_err());
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::OutOfRange { field: "taken_bias", .. }));
+        assert!(err.to_string().contains("taken_bias"), "message names the field: {err}");
     }
 }

@@ -7,6 +7,7 @@
 //! [`BpuPolicy`] exposes exactly those two decision points to the core;
 //! concrete policies live in the `bscope-mitigations` crate.
 
+use crate::config::ConfigError;
 use crate::core_impl::ContextId;
 use bscope_bpu::VirtAddr;
 use rand::Rng;
@@ -81,19 +82,23 @@ impl MeasurementFuzz {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`ConfigError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.counter_flip_probability) {
-            return Err(format!(
-                "counter_flip_probability {} must be in [0,1]",
-                self.counter_flip_probability
-            ));
+            return Err(ConfigError::OutOfRange {
+                config: "MeasurementFuzz",
+                field: "counter_flip_probability",
+                value: self.counter_flip_probability,
+                constraint: "within [0, 1]",
+            });
         }
         if !self.extra_timing_sigma.is_finite() || self.extra_timing_sigma < 0.0 {
-            return Err(format!(
-                "extra_timing_sigma {} must be finite and >= 0",
-                self.extra_timing_sigma
-            ));
+            return Err(ConfigError::OutOfRange {
+                config: "MeasurementFuzz",
+                field: "extra_timing_sigma",
+                value: self.extra_timing_sigma,
+                constraint: "finite and >= 0",
+            });
         }
         Ok(())
     }

@@ -15,7 +15,7 @@ use branchscope::uarch::NoiseConfig;
 fn main() {
     let payload = b"BranchScope: directional predictors leak.";
     let profile = MicroarchProfile::skylake();
-    let mut sys = System::new(profile.clone(), 2024).with_noise(NoiseConfig::system_activity());
+    let mut sys = System::new(profile.clone(), 2024).with_noise(NoiseConfig::system_activity()).expect("valid noise preset");
     let sender = sys.spawn("trojan", AslrPolicy::Disabled);
     let receiver = sys.spawn("spy", AslrPolicy::Disabled);
 

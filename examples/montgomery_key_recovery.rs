@@ -15,7 +15,7 @@ use branchscope::victims::{mod_exp, MontgomeryLadder, VICTIM_BRANCH_OFFSET};
 
 fn main() {
     let profile = MicroarchProfile::haswell();
-    let mut sys = System::new(profile.clone(), 7).with_noise(NoiseConfig::isolated_core());
+    let mut sys = System::new(profile.clone(), 7).with_noise(NoiseConfig::isolated_core()).expect("valid noise preset");
     let victim = sys.spawn("crypto-victim", AslrPolicy::Disabled);
     let spy = sys.spawn("spy", AslrPolicy::Disabled);
     let target = sys.process(victim).vaddr_of(VICTIM_BRANCH_OFFSET);

@@ -15,7 +15,7 @@ use branchscope::uarch::NoiseConfig;
 
 fn main() {
     let profile = MicroarchProfile::skylake();
-    let mut sys = System::new(profile.clone(), 99).with_noise(NoiseConfig::system_activity());
+    let mut sys = System::new(profile.clone(), 99).with_noise(NoiseConfig::system_activity()).expect("valid noise preset");
     let receiver = sys.spawn("spy", AslrPolicy::Disabled);
 
     // The enclave holds a secret the rest of the system cannot read…

@@ -59,7 +59,7 @@ fn attack_stays_below_paper_error_rates_under_noise() {
         (MicroarchProfile::sandy_bridge(), 0.08),
     ] {
         let mut sys =
-            System::new(profile.clone(), 0xB0B).with_noise(NoiseConfig::system_activity());
+            System::new(profile.clone(), 0xB0B).with_noise(NoiseConfig::system_activity()).unwrap();
         let victim = sys.spawn("victim", AslrPolicy::Disabled);
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         let target = sys.process(victim).vaddr_of(VICTIM_BRANCH_OFFSET);
@@ -85,7 +85,7 @@ fn attack_stays_below_paper_error_rates_under_noise() {
 fn sandy_bridge_is_noisier_than_skylake() {
     let run = |profile: MicroarchProfile| {
         let mut sys = System::new(profile.clone(), 0xCAFE)
-            .with_noise(NoiseConfig::system_activity());
+            .with_noise(NoiseConfig::system_activity()).unwrap();
         let victim = sys.spawn("victim", AslrPolicy::Disabled);
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         let target = sys.process(victim).vaddr_of(VICTIM_BRANCH_OFFSET);

@@ -23,7 +23,7 @@ fn sgx_isolated_is_at_least_as_good_as_noisy() {
     let mut rates = Vec::new();
     for noise in [Some(NoiseConfig::system_activity()), None] {
         let mut sys = System::new(profile.clone(), 0x536);
-        sys.set_noise(noise);
+        sys.set_noise(noise).unwrap();
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
         let secret = random_bits(3_000, 0x51);
         let mut enclave =
