@@ -22,6 +22,13 @@
 //! makes the strongly-taken and weakly-taken states indistinguishable
 //! (Table 1, footnote 1).
 //!
+//! The hybrid is one of three interchangeable predictor *backends*: the
+//! [`DirectionPredictor`] trait captures the surface the simulated core
+//! needs, the [`PredictorBackend`] enum provides static dispatch over the
+//! hybrid, a TAGE model ([`TageBackend`]) and a perceptron model
+//! ([`PerceptronBackend`]), and [`BackendKind`] selects between them — see
+//! the [`backend`](crate::backend) module docs for the design rationale.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod bimodal;
 mod btb;
 mod counter;
@@ -53,6 +61,10 @@ mod selector;
 mod stats;
 mod tage;
 
+pub use backend::{
+    BackendCommon, BackendKind, DirectionPredictor, PerceptronBackend, PredictorBackend,
+    TageBackend,
+};
 pub use bimodal::BimodalPredictor;
 pub use btb::{BranchTargetBuffer, BtbEntry};
 pub use counter::{Counter, CounterKind, Outcome, PhtState};

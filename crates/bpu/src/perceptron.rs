@@ -1,10 +1,16 @@
-//! A perceptron directional predictor (Jiménez & Lin, 2001).
+//! A perceptron directional predictor (Jiménez & Lin, 2001) — a
+//! first-class predictor backend (wrapped by
+//! [`PerceptronBackend`](crate::PerceptronBackend)).
 //!
 //! The paper cites perceptron predictors among modern designs (§2, [31]).
-//! We include one as an *ablation substrate*: the mitigation analysis asks
-//! whether BranchScope's FSM-probing strategy survives a predictor whose
-//! per-branch state is not a small saturating counter. See the
-//! `perceptron_ablation` bench and `bscope-mitigations` tests.
+//! This is the stack's structural counter-example: per-branch state is a
+//! weight vector, not a small saturating counter, so BranchScope's
+//! prime-probe FSM strategy has nothing to saturate and the attack degrades
+//! toward chance. Build cores on it with
+//! [`BackendKind::Perceptron`](crate::BackendKind) or `--bpu perceptron`;
+//! the `backend_sweep` experiment and `bscope-mitigations` tests measure
+//! the live attack against it, and the `perceptron_ablation` bench covers
+//! throughput.
 
 use crate::counter::Outcome;
 use crate::ghr::GlobalHistoryRegister;
@@ -77,6 +83,23 @@ impl PerceptronPredictor {
     #[must_use]
     pub fn index_of(&self, addr: VirtAddr) -> usize {
         (addr & self.mask) as usize
+    }
+
+    /// The history-independent *bias* weight for `addr` — the closest thing
+    /// a perceptron has to a per-address directional state.
+    #[must_use]
+    pub fn bias(&self, addr: VirtAddr) -> i16 {
+        self.weights[self.index_of(addr)][0]
+    }
+
+    /// Overwrites the entry for `addr` with the given bias and all history
+    /// weights zeroed — the ground-truth hook backing
+    /// [`DirectionPredictor::set_pht_state`](crate::DirectionPredictor::set_pht_state).
+    pub fn set_entry(&mut self, addr: VirtAddr, bias: i16) {
+        let idx = self.index_of(addr);
+        let w = &mut self.weights[idx];
+        w.fill(0);
+        w[0] = bias;
     }
 
     fn output(&self, addr: VirtAddr, ghr: &GlobalHistoryRegister) -> i32 {

@@ -1,4 +1,5 @@
-//! A TAGE-style predictor (Seznec & Michaud) — extension substrate.
+//! A TAGE-style predictor (Seznec & Michaud) — a first-class predictor
+//! backend (wrapped by [`TageBackend`](crate::TageBackend)).
 //!
 //! The paper attacks a bimodal+gshare hybrid, but notes modern predictors
 //! are "complex hybrid predictors with unknown organization" (§1). TAGE is
@@ -9,10 +10,31 @@
 //!
 //! That fallback is exactly the property BranchScope exploits in the
 //! hybrid: a branch the tagged tables have never seen is predicted by a
-//! simply-indexed per-address counter. The tests in this module (and the
-//! `ablation_substrate_throughput` bench) document that the attack's
-//! prime/probe FSM reasoning carries over to a TAGE base table, which is
-//! why hiding behind "a more complex predictor" is not by itself a defense.
+//! simply-indexed per-address counter. Two mechanisms make the fallback
+//! reachable to an attacker in practice:
+//!
+//! 1. **Weak entries do not provide** (Seznec's *use-alt-on-na*): a
+//!    newly-allocated tagged entry starts at one of the two centre counter
+//!    values, and a weak provider is skipped in favour of the alternate
+//!    prediction — ultimately the base table. A freshly primed base
+//!    counter therefore keeps answering probes even after the attack's
+//!    own branches allocate tagged entries for the target.
+//! 2. **The tagged index hash is XOR-linear in the PC**, so a spy can
+//!    compute (offline, the paper's §6.2 "one-time effort" collision
+//!    search extended to the tagged tables) an *alias family* of
+//!    addresses that collide with the target's slot in every tagged
+//!    component while missing its base-table slot — bursts of alias
+//!    branches evict stale confident tagged entries that would otherwise
+//!    shadow the base table.
+//!
+//! The tests in this module (and the `ablation_substrate_throughput`
+//! bench) document that the attack's prime/probe FSM reasoning carries
+//! over to a TAGE base table, which is why hiding behind "a more complex
+//! predictor" is not by itself a defense.
+//! The full simulated stack can run on this substrate — build cores with
+//! [`BackendKind::Tage`](crate::BackendKind) or pass `--bpu tage` to the
+//! experiments binary (the `backend_sweep` experiment measures the live
+//! attack against it).
 
 use crate::counter::Outcome;
 use crate::ghr::GlobalHistoryRegister;
@@ -139,7 +161,24 @@ impl TagePredictor {
         self.base[self.base_index(pc)]
     }
 
-    fn provider(&self, pc: VirtAddr, ghr: &GlobalHistoryRegister) -> Option<usize> {
+    /// Forces the base-table counter for `pc` (clamped to 0–3) — the
+    /// ground-truth hook backing
+    /// [`DirectionPredictor::set_pht_state`](crate::DirectionPredictor::set_pht_state).
+    pub fn set_base_counter(&mut self, pc: VirtAddr, counter: u8) {
+        let idx = self.base_index(pc);
+        self.base[idx] = counter.min(3);
+    }
+
+    /// Whether a tagged counter is *weak* (newly allocated or untrained):
+    /// the two centre values of the signed 3-bit counter, which is exactly
+    /// where [`TagePredictor::train`]'s allocation places new entries.
+    fn is_weak(ctr: i8) -> bool {
+        ctr == 0 || ctr == -1
+    }
+
+    /// Longest tagged component whose entry matches `pc` under `ghr`,
+    /// regardless of confidence (the raw *hit*, trained on every commit).
+    fn hit(&self, pc: VirtAddr, ghr: &GlobalHistoryRegister) -> Option<usize> {
         (0..self.tables.len()).rev().find(|&i| {
             let t = &self.tables[i];
             t.entries[t.index(pc, ghr)].tag == t.tag(pc, ghr)
@@ -147,18 +186,29 @@ impl TagePredictor {
     }
 
     /// Looks up the prediction for `pc` under history `ghr`.
+    ///
+    /// Weak (newly-allocated) tagged entries do not provide: real TAGE
+    /// consults the alternate prediction when the longest match has low
+    /// confidence (Seznec's *use-alt-on-na* policy), so the walk skips weak
+    /// matches down to the first confident component, falling back to the
+    /// bimodal base table. A tagged entry must survive long enough to train
+    /// to confidence before it takes over from the base — the property the
+    /// BranchScope attacker leans on (see the module doc).
     #[must_use]
     pub fn predict(&self, pc: VirtAddr, ghr: &GlobalHistoryRegister) -> TagePrediction {
-        match self.provider(pc, ghr) {
-            Some(i) => {
-                let t = &self.tables[i];
-                let e = t.entries[t.index(pc, ghr)];
-                TagePrediction { direction: Outcome::from_bool(e.ctr >= 0), provider: Some(i) }
+        for i in (0..self.tables.len()).rev() {
+            let t = &self.tables[i];
+            let e = t.entries[t.index(pc, ghr)];
+            if e.tag == t.tag(pc, ghr) && !Self::is_weak(e.ctr) {
+                return TagePrediction {
+                    direction: Outcome::from_bool(e.ctr >= 0),
+                    provider: Some(i),
+                };
             }
-            None => TagePrediction {
-                direction: Outcome::from_bool(self.base[self.base_index(pc)] >= 2),
-                provider: None,
-            },
+        }
+        TagePrediction {
+            direction: Outcome::from_bool(self.base[self.base_index(pc)] >= 2),
+            provider: None,
         }
     }
 
@@ -170,32 +220,39 @@ impl TagePredictor {
         self.lfsr
     }
 
-    /// Commits one resolved branch: trains the provider (or the base
-    /// table) and allocates a longer-history entry on a misprediction.
+    /// Commits one resolved branch: trains the longest matching tagged
+    /// entry (and the base table when that entry was weak and the alternate
+    /// provided — see [`TagePredictor::predict`]) and allocates a
+    /// longer-history entry on an effective misprediction.
     pub fn train(&mut self, pc: VirtAddr, ghr: &GlobalHistoryRegister, outcome: Outcome) {
-        let prediction = self.predict(pc, ghr);
-        let correct = prediction.direction == outcome;
-        match prediction.provider {
-            Some(i) => {
-                let idx = self.tables[i].index(pc, ghr);
-                let e = &mut self.tables[i].entries[idx];
-                e.ctr = (e.ctr + if outcome.is_taken() { 1 } else { -1 }).clamp(-4, 3);
-                if correct {
-                    e.useful = (e.useful + 1).min(3);
-                } else {
-                    e.useful = e.useful.saturating_sub(1);
-                }
-            }
-            None => {
-                let idx = self.base_index(pc);
-                let c = &mut self.base[idx];
-                *c = if outcome.is_taken() { (*c + 1).min(3) } else { c.saturating_sub(1) };
+        let correct = self.predict(pc, ghr).direction == outcome;
+        let hit = self.hit(pc, ghr);
+        let mut train_base = hit.is_none();
+        if let Some(i) = hit {
+            let idx = self.tables[i].index(pc, ghr);
+            let e = &mut self.tables[i].entries[idx];
+            // The alternate (here: the base) supplied the prediction while
+            // this entry was weak, so the base keeps training too — the
+            // entry only takes the branch over once it reaches confidence.
+            train_base = Self::is_weak(e.ctr);
+            let own_correct = Outcome::from_bool(e.ctr >= 0) == outcome;
+            e.ctr = (e.ctr + if outcome.is_taken() { 1 } else { -1 }).clamp(-4, 3);
+            if own_correct {
+                e.useful = (e.useful + 1).min(3);
+            } else {
+                e.useful = e.useful.saturating_sub(1);
             }
         }
+        if train_base {
+            let idx = self.base_index(pc);
+            let c = &mut self.base[idx];
+            *c = if outcome.is_taken() { (*c + 1).min(3) } else { c.saturating_sub(1) };
+        }
         // On a misprediction, try to allocate an entry in a longer-history
-        // component (classic TAGE allocation with usefulness guard).
+        // component (classic TAGE allocation with usefulness guard). New
+        // entries start weak, so they shadow nothing until trained.
         if !correct {
-            let start = prediction.provider.map_or(0, |i| i + 1);
+            let start = hit.map_or(0, |i| i + 1);
             if start < self.tables.len() {
                 let pick = start + (self.next_rand() as usize) % (self.tables.len() - start);
                 let (idx, tag) = {

@@ -3,8 +3,8 @@
 use crate::decode::DirectionDict;
 use crate::error::AttackError;
 use crate::prime::{SearchedPrime, TargetedPrime};
-use crate::probe::{probe_with_counters, ProbeKind, ProbePattern};
-use bscope_bpu::{CounterKind, MicroarchProfile, Outcome, PhtState, VirtAddr};
+use crate::probe::{probe_once, probe_with_counters, ProbeKind, ProbePattern};
+use bscope_bpu::{BackendKind, CounterKind, MicroarchProfile, Outcome, PhtState, VirtAddr};
 use bscope_os::{Pid, System};
 
 /// Configuration of a BranchScope instance.
@@ -39,6 +39,22 @@ impl AttackConfig {
             victim_wait_cycles: 40_000,
         }
     }
+
+    /// The canonical configuration for a machine profile running on an
+    /// explicit predictor backend.
+    ///
+    /// The hybrid attacks the profile's native counter flavour; TAGE and
+    /// perceptron backends normalise their effective counter kind to
+    /// [`CounterKind::TwoBit`] (see [`BackendKind::build`]), so the decode
+    /// dictionary must be built for that flavour regardless of the machine.
+    #[must_use]
+    pub fn for_backend(profile: &MicroarchProfile, backend: BackendKind) -> Self {
+        let counter_kind = match backend {
+            BackendKind::Hybrid => profile.counter_kind,
+            BackendKind::Tage | BackendKind::Perceptron => CounterKind::TwoBit,
+        };
+        AttackConfig { counter_kind, ..AttackConfig::for_profile(profile) }
+    }
 }
 
 /// A configured BranchScope attack: primes, triggers the victim, probes and
@@ -52,6 +68,9 @@ pub struct BranchScope {
     dict: DirectionDict,
     searched: Option<SearchedPrime>,
     targeted: Option<TargetedPrime>,
+    /// Round counter feeding the pre-probe history scramble on
+    /// history-indexed backends (see [`BranchScope::scramble_probe_history`]).
+    scramble_round: u64,
 }
 
 impl BranchScope {
@@ -64,7 +83,7 @@ impl BranchScope {
     /// (see [`DirectionDict::build`]).
     pub fn new(config: AttackConfig) -> Result<Self, AttackError> {
         let dict = DirectionDict::build(config.counter_kind, config.primed, config.probe)?;
-        Ok(BranchScope { config, dict, searched: None, targeted: None })
+        Ok(BranchScope { config, dict, searched: None, targeted: None, scramble_round: 0 })
     }
 
     /// Uses a pre-searched randomization block (the paper's full §6.2
@@ -138,13 +157,92 @@ impl BranchScope {
         trigger: impl FnOnce(&mut System),
     ) -> ProbePattern {
         self.run_prime(sys, spy, target); // stage 1
+        let history_indexed = sys.core().bpu().kind() != BackendKind::Hybrid;
+        if history_indexed {
+            // Reinforce the prime under fresh history contexts: on a
+            // tagged/history-indexed substrate, individual saturation steps
+            // can be absorbed by stale tagged entries, so the spy repeats
+            // the saturating execution with a re-scramble before each step
+            // (harmlessly redundant when the base entry is already
+            // saturated). The final scramble leaves the *victim's* upcoming
+            // execution in a fresh context too.
+            let direction = self.config.primed.predicted();
+            for _ in 0..4 {
+                self.scramble_history(sys, spy, target);
+                sys.cpu(spy).branch_at_abs(target, direction);
+            }
+            self.scramble_history(sys, spy, target);
+        }
         // Stage 2: wait for the slowed-down victim to reach and execute the
         // monitored branch (Listing 3's usleep). Background noise keeps
         // running on the shared BPU throughout.
         sys.cpu(spy).work(self.config.victim_wait_cycles / 2);
         trigger(sys);
         sys.cpu(spy).work(self.config.victim_wait_cycles / 2);
-        probe_with_counters(&mut sys.cpu(spy), target, self.config.probe) // stage 3
+        if !history_indexed {
+            // stage 3, the paper's back-to-back probe pair
+            return probe_with_counters(&mut sys.cpu(spy), target, self.config.probe);
+        }
+        // Stage 3 on a history-indexed backend: each probe observation gets
+        // its own fresh history context (see `scramble_history`).
+        self.scramble_history(sys, spy, target);
+        let first = probe_once(&mut sys.cpu(spy), target, self.config.probe);
+        self.scramble_history(sys, spy, target);
+        let second = probe_once(&mut sys.cpu(spy), target, self.config.probe);
+        ProbePattern::from_hits(first, second)
+    }
+
+    /// Spy-side history re-randomization, used around every
+    /// prime/victim/probe step on history-indexed predictor backends only
+    /// (the caller gates on the backend kind, keeping the canonical hybrid
+    /// round byte-for-byte identical — there, stage 1's BTB eviction
+    /// already forces the probes into address-indexed prediction).
+    ///
+    /// On TAGE, the attack round is a near-fixed branch-outcome sequence,
+    /// so without this the short-history tagged contexts recur across
+    /// rounds and stale tagged entries — allocated whenever the target
+    /// mispredicted, which the attack provokes constantly — train to
+    /// confidence and shadow the base table. The spy defeats that the same
+    /// way Listing 1's randomization block defeats the 2-level predictor:
+    /// it executes a burst of junk branches with round-varying addresses
+    /// and outcomes before each step that touches the target, leaving the
+    /// global history in a context whose tagged entries (if any) have never
+    /// seen a consistent outcome stream, so they stay weak and prediction
+    /// falls back to the address-indexed base table (see `bscope_bpu::tage`
+    /// on the weak-entry/alternate-prediction policy this leans on).
+    /// Beyond scrambling, the burst's branches are not arbitrary: they are
+    /// drawn from the target's *tagged-set alias family*. The tagged tables
+    /// index with `pc ^ (pc >> 7) ^ folded_history`, which is XOR-linear in
+    /// `pc`, so any displacement `d = p | p << 7 | p << 14` (7-bit `p`)
+    /// yields an address `target ^ d` that lands in the **same tagged slot
+    /// as the target in every component at every history** while carrying a
+    /// different tag and a different base-table index. Every time one of
+    /// these aliases mispredicts, its allocation claims exactly a slot a
+    /// stale target entry could be squatting in, evicting it — at a far
+    /// higher rate than the target's own mispredictions re-allocate. This
+    /// is the §6.2 "one-time effort" search extended to the tagged tables:
+    /// the attacker characterises the index function offline, then replays
+    /// colliding junk branches forever after.
+    fn scramble_history(&mut self, sys: &mut System, spy: Pid, target: VirtAddr) {
+        let pht_mask = (sys.core().profile().pht_size - 1) as u64;
+        self.scramble_round = self.scramble_round.wrapping_add(1);
+        // SplitMix64 stream over the round counter: deterministic, but
+        // different in every round.
+        let mut x = self.scramble_round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut cpu = sys.cpu(spy);
+        for _ in 0..64 {
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            x ^= x >> 31;
+            // p ranges over 1..=126: zero would alias the base slot, and
+            // the all-ones pattern has a zero *tag* displacement (it would
+            // impersonate the target rather than evict it).
+            let p = ((x >> 8) % 126) + 1;
+            let d = p | p << 7 | p << 14;
+            let addr = target ^ d;
+            debug_assert_ne!(addr & pht_mask, target & pht_mask, "alias must miss the base slot");
+            cpu.branch_at_abs(addr, Outcome::from_bool(x & 1 == 1));
+        }
     }
 
     /// Reads the direction of one victim branch execution.

@@ -64,6 +64,6 @@ pub use decode::{decode_state, fsm_transition_row, table1, DecodedState, Directi
 pub use error::{AttackError, BscopeError, ConfigError};
 pub use poison::BranchPoisoner;
 pub use prime::{PrimeStrategy, SearchedPrime, TargetedPrime};
-pub use probe::{probe_with_counters, ProbeKind, ProbePattern};
+pub use probe::{probe_once, probe_with_counters, ProbeKind, ProbePattern};
 pub use randomize::RandomizationBlock;
 pub use timing_probe::TimingDetector;

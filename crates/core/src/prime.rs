@@ -301,7 +301,7 @@ mod tests {
         let mut prime = TargetedPrime::new(target, PhtState::StronglyNotTaken);
         prime.prime(&mut sys.cpu(spy));
 
-        assert_eq!(sys.core().bpu().bimodal_state(target), PhtState::StronglyNotTaken);
+        assert_eq!(sys.core().bpu().pht_state(target), PhtState::StronglyNotTaken);
         assert!(!sys.core().bpu().btb().contains(target), "victim BTB entry evicted");
     }
 
@@ -331,9 +331,9 @@ mod tests {
                 .expect("a suitable block exists within 64 candidates");
         // Replaying the found block must leave the entry in the desired
         // state even from adversarial starting conditions.
-        sys.core_mut().bpu_mut().bimodal_mut().set_state(target, PhtState::StronglyTaken);
+        sys.core_mut().bpu_mut().set_pht_state(target, PhtState::StronglyTaken);
         prime.prime(&mut sys.cpu(spy));
-        assert_eq!(sys.core().bpu().bimodal_state(target), PhtState::StronglyNotTaken);
+        assert_eq!(sys.core().bpu().pht_state(target), PhtState::StronglyNotTaken);
         assert_eq!(prime.desired(), PhtState::StronglyNotTaken);
         assert_eq!(prime.target(), target);
     }
@@ -353,6 +353,6 @@ mod tests {
             PrimeStrategy::Targeted(TargetedPrime::new(target, PhtState::StronglyTaken));
         assert_eq!(strategy.primed_state(), PhtState::StronglyTaken);
         strategy.prime(&mut sys.cpu(spy));
-        assert_eq!(sys.core().bpu().bimodal_state(target), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(target), PhtState::StronglyTaken);
     }
 }

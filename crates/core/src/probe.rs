@@ -125,12 +125,23 @@ impl fmt::Display for ProbePattern {
 pub fn probe_with_counters(cpu: &mut CpuView<'_>, addr: VirtAddr, kind: ProbeKind) -> ProbePattern {
     let mut hits = [false; 2];
     for hit in &mut hits {
-        let before = cpu.counters().branch_misses;
-        cpu.branch_at_abs(addr, kind.outcome());
-        let after = cpu.counters().branch_misses;
-        *hit = after == before;
+        *hit = probe_once(cpu, addr, kind);
     }
     ProbePattern::from_hits(hits[0], hits[1])
+}
+
+/// Executes a single probing branch at `addr` and reports whether it was
+/// predicted correctly (one counter-delta observation).
+///
+/// [`probe_with_counters`] runs the two probes back to back, which is all
+/// the hybrid needs; on history-indexed backends the attacker re-scrambles
+/// the global history *between* the two observations (see
+/// `BranchScope::observe_bit`), so the stages are also available singly.
+pub fn probe_once(cpu: &mut CpuView<'_>, addr: VirtAddr, kind: ProbeKind) -> bool {
+    let before = cpu.counters().branch_misses;
+    cpu.branch_at_abs(addr, kind.outcome());
+    let after = cpu.counters().branch_misses;
+    after == before
 }
 
 #[cfg(test)]
@@ -164,7 +175,7 @@ mod tests {
         let mut sys = System::new(MicroarchProfile::haswell(), 1);
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         let addr = sys.process(spy).vaddr_of(0x100);
-        sys.core_mut().bpu_mut().bimodal_mut().set_state(addr, PhtState::StronglyNotTaken);
+        sys.core_mut().bpu_mut().set_pht_state(addr, PhtState::StronglyNotTaken);
         let pattern = probe_with_counters(&mut sys.cpu(spy), addr, ProbeKind::TakenTaken);
         assert_eq!(pattern, ProbePattern::MM);
     }
@@ -176,7 +187,7 @@ mod tests {
         let mut sys = System::new(MicroarchProfile::haswell(), 2);
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
         let addr = sys.process(spy).vaddr_of(0x100);
-        sys.core_mut().bpu_mut().bimodal_mut().set_state(addr, PhtState::WeaklyNotTaken);
+        sys.core_mut().bpu_mut().set_pht_state(addr, PhtState::WeaklyNotTaken);
         let pattern = probe_with_counters(&mut sys.cpu(spy), addr, ProbeKind::TakenTaken);
         assert_eq!(pattern, ProbePattern::MH);
     }

@@ -229,7 +229,7 @@ mod tests {
             sys.cpu(victim).branch_at(0x6d, Outcome::Taken);
         }
         assert!(sys.core().bpu().btb().contains(victim_addr));
-        assert_eq!(sys.core().bpu().bimodal_state(victim_addr), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(victim_addr), PhtState::StronglyTaken);
 
         let block =
             RandomizationBlock::for_profile(&bscope_bpu::MicroarchProfile::skylake(), 17);
@@ -269,9 +269,9 @@ mod tests {
         for round in 0..3u64 {
             // Perturb the entry differently each round…
             let st = if round % 2 == 0 { PhtState::StronglyTaken } else { PhtState::StronglyNotTaken };
-            sys.core_mut().bpu_mut().bimodal_mut().set_state(probe_addr, st);
+            sys.core_mut().bpu_mut().set_pht_state(probe_addr, st);
             block.execute(&mut sys.cpu(spy));
-            states.push(sys.core().bpu().bimodal_state(probe_addr));
+            states.push(sys.core().bpu().pht_state(probe_addr));
         }
         assert!(states.iter().all(|&s| s == expected), "states {states:?} vs {expected}");
     }

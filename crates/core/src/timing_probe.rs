@@ -164,7 +164,9 @@ pub struct ProbeLatencyStats {
 fn reset_branch_context(sys: &mut System, addr: VirtAddr) {
     let bpu = sys.core_mut().bpu_mut();
     bpu.btb_mut().evict(addr);
-    bpu.selector_mut().set_level(addr, 0);
+    if let Some(hybrid) = bpu.as_hybrid_mut() {
+        hybrid.selector_mut().set_level(addr, 0);
+    }
 }
 
 /// Measures probe-pair latencies as a function of the starting PHT state
@@ -184,7 +186,7 @@ pub fn probe_latency_by_state(
     let mut expected = ProbePattern::HH;
     for _ in 0..reps {
         reset_branch_context(sys, addr);
-        sys.core_mut().bpu_mut().bimodal_mut().set_state(addr, state);
+        sys.core_mut().bpu_mut().set_pht_state(addr, state);
         // Expected pattern from the FSM model (ground truth for the figure
         // annotation).
         let mut c = counter_kind.counter_in(state);
@@ -293,7 +295,7 @@ mod tests {
         for i in 0..trials {
             let state = if i % 2 == 0 { PhtState::StronglyNotTaken } else { PhtState::WeaklyNotTaken };
             super::reset_branch_context(&mut sys, addr);
-            sys.core_mut().bpu_mut().bimodal_mut().set_state(addr, state);
+            sys.core_mut().bpu_mut().set_pht_state(addr, state);
             let want = match state {
                 PhtState::StronglyNotTaken => ProbePattern::MM,
                 _ => ProbePattern::MH,

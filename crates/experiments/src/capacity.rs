@@ -26,7 +26,7 @@ const REDUNDANCIES: [usize; 3] = [1, 3, 5];
 /// fan-out.
 pub fn compute(scale: &Scale, bits: usize) -> Result<Vec<(f64, f64)>, BscopeError> {
     let profile = MicroarchProfile::skylake();
-    CovertChannel::new(AttackConfig::for_profile(&profile))?;
+    CovertChannel::new(AttackConfig::for_backend(&profile, scale.backend))?;
     for (_, rate) in NOISE_LEVELS {
         if rate > 0.0 {
             NoiseConfig { branches_per_kcycle: rate, ..NoiseConfig::system_activity() }
@@ -42,7 +42,7 @@ pub fn compute(scale: &Scale, bits: usize) -> Result<Vec<(f64, f64)>, BscopeErro
     Ok(trials(scale, cells, 0xCA9, |idx, seed| {
         let (_, rate) = NOISE_LEVELS[idx / REDUNDANCIES.len()];
         let redundancy = REDUNDANCIES[idx % REDUNDANCIES.len()];
-        let mut sys = System::new(profile.clone(), seed);
+        let mut sys = System::with_backend(profile.clone(), scale.backend, seed);
         if rate > 0.0 {
             sys.set_noise(Some(NoiseConfig {
                 branches_per_kcycle: rate,
@@ -52,7 +52,8 @@ pub fn compute(scale: &Scale, bits: usize) -> Result<Vec<(f64, f64)>, BscopeErro
         }
         let sender = sys.spawn("trojan", AslrPolicy::Disabled);
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
-        let mut channel = CovertChannel::new(AttackConfig::for_profile(&profile)).expect("valid");
+        let mut channel =
+            CovertChannel::new(AttackConfig::for_backend(&profile, scale.backend)).expect("valid");
         let result = if redundancy == 1 {
             channel.transmit(&mut sys, sender, receiver, &message)
         } else {
@@ -66,7 +67,10 @@ pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(4_000, 500);
     let grid = compute(scale, bits)?;
 
-    println!("Skylake, {bits} payload bits per cell; error / throughput (bits per Mcycle)\n");
+    println!(
+        "Skylake / {} backend, {bits} payload bits per cell; error / throughput (bits per Mcycle)\n",
+        scale.backend
+    );
     println!(
         "{:<24} {:>22} {:>22} {:>22}",
         "background noise", "raw", "3x repetition", "5x repetition"

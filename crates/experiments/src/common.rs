@@ -2,6 +2,7 @@
 //! behind `--json`, trial-runner glue (thread count + fault injection),
 //! and small output helpers.
 
+use bscope_bpu::BackendKind;
 use bscope_harness::{run_trials_with, FaultPlan, FaultPolicy, RunOptions};
 use std::sync::{Mutex, PoisonError};
 
@@ -17,6 +18,10 @@ pub struct Scale {
     /// Results are thread-count-invariant (see `bscope-harness`), so this
     /// only affects wall-clock.
     pub threads: usize,
+    /// Direction-predictor substrate (`--bpu`) honoured by the
+    /// backend-aware experiments; backend-agnostic experiments always run
+    /// the paper's hybrid model.
+    pub backend: BackendKind,
     /// Deterministic fault injection for the trial-parallel experiments
     /// (`--inject-fault`); `None` in normal runs.
     pub fault: Option<FaultPlan>,
@@ -24,7 +29,13 @@ pub struct Scale {
 
 impl Scale {
     pub fn full() -> Self {
-        Scale { quick: false, seed: 0xB5C0_9E01, threads: 0, fault: None }
+        Scale {
+            quick: false,
+            seed: 0xB5C0_9E01,
+            threads: 0,
+            backend: BackendKind::Hybrid,
+            fault: None,
+        }
     }
 
     #[allow(dead_code)] // handy for unit-style invocations

@@ -31,7 +31,7 @@ fn samples(
         // Warm the i-cache with a first (untimed) execution, then force the
         // desired prediction and record the second execution.
         sys.cpu(pid).branch_at_abs(addr, predicted);
-        sys.core_mut().bpu_mut().bimodal_mut().set_state(addr, state);
+        sys.core_mut().bpu_mut().set_pht_state(addr, state);
         out.push(sys.cpu(pid).branch_at_abs(addr, executed).latency);
     }
     out

@@ -20,6 +20,9 @@ pub struct Report {
 
 struct Entry {
     name: String,
+    /// The predictor backend the experiment actually ran on — `--bpu` for
+    /// backend-aware experiments, `"hybrid"` for the rest.
+    backend: String,
     wall_seconds: f64,
     metrics: Vec<(String, f64)>,
     /// `Some(message)` when the experiment failed (typed error or panic).
@@ -59,18 +62,25 @@ impl Report {
         Report { quick: scale.quick, seed: scale.seed, threads: scale.threads, experiments: Vec::new() }
     }
 
-    /// Records one experiment: `error` is `None` on success, or the
-    /// failure message of a panicked/errored experiment. Metrics recorded
-    /// before the failure are kept — they belong to this entry, not the
-    /// next experiment's.
+    /// Records one experiment: `backend` names the predictor substrate it
+    /// ran on; `error` is `None` on success, or the failure message of a
+    /// panicked/errored experiment. Metrics recorded before the failure
+    /// are kept — they belong to this entry, not the next experiment's.
     pub fn record(
         &mut self,
         name: &str,
+        backend: &str,
         wall_seconds: f64,
         metrics: Vec<(String, f64)>,
         error: Option<String>,
     ) {
-        self.experiments.push(Entry { name: name.to_owned(), wall_seconds, metrics, error });
+        self.experiments.push(Entry {
+            name: name.to_owned(),
+            backend: backend.to_owned(),
+            wall_seconds,
+            metrics,
+            error,
+        });
     }
 
     /// Whether any recorded experiment failed.
@@ -98,6 +108,7 @@ impl Report {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             let _ = writeln!(out, "    {{");
             let _ = writeln!(out, "      \"name\": \"{}\",", escape(&e.name));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", escape(&e.backend));
             let _ = writeln!(
                 out,
                 "      \"status\": \"{}\",",
@@ -151,13 +162,15 @@ mod tests {
         let mut scale = Scale::quick();
         scale.threads = 4;
         let mut r = Report::new(&scale);
-        r.record("fig4", 1.25, vec![("fig4/stable_fraction".into(), 0.83)], None);
-        r.record("empty", 0.5, vec![], None);
+        r.record("fig4", "hybrid", 1.25, vec![("fig4/stable_fraction".into(), 0.83)], None);
+        r.record("empty", "tage", 0.5, vec![], None);
         let s = r.to_json();
         assert!(s.contains("\"threads\": 4"));
         assert!(s.contains("\"fig4/stable_fraction\": 0.83"));
         assert!(s.contains("\"wall_seconds\": 1.25"));
         assert!(s.contains("\"status\": \"ok\""));
+        assert!(s.contains("\"backend\": \"hybrid\""));
+        assert!(s.contains("\"backend\": \"tage\""));
         assert!(s.contains("\"failed\": []"));
         assert!(!r.has_failures());
         assert_balanced(&s);
@@ -168,9 +181,10 @@ mod tests {
     #[test]
     fn failed_experiments_keep_partial_metrics_and_are_listed() {
         let mut r = Report::new(&Scale::quick());
-        r.record("table1", 0.1, vec![("table1/rows".into(), 8.0)], None);
+        r.record("table1", "hybrid", 0.1, vec![("table1/rows".into(), 8.0)], None);
         r.record(
             "table2",
+            "perceptron",
             0.2,
             vec![("table2/partial".into(), 1.0)],
             Some("trial 3 (seed 0x0000000000000001) panicked: injected fault\n\"quoted\"".into()),

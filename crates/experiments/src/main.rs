@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--seed N] [--threads N] [--json PATH]
+//!             [--bpu hybrid|tage|perceptron]
 //!             [--inject-fault NAME[:K]] <experiment>...
 //! experiments all            # everything, paper-scale (minutes)
 //! experiments --quick all    # everything, reduced scale (seconds)
@@ -18,8 +19,14 @@
 //! (see `bscope-harness`) — so `--threads` only changes wall-clock.
 //!
 //! `--json PATH` writes a machine-readable report: per-experiment
-//! wall-clock seconds, status, and the headline metrics each experiment
-//! records.
+//! wall-clock seconds, status, the predictor backend the experiment ran
+//! on, and the headline metrics each experiment records.
+//!
+//! `--bpu hybrid|tage|perceptron` selects the direction-predictor
+//! substrate for the backend-aware experiments (`table2`, `capacity`,
+//! `backend_sweep`). The remaining experiments model mechanisms specific
+//! to the paper's hybrid PHT (1-level mode, state machines, timing) and
+//! always run on the hybrid; their report entries say so.
 //!
 //! Experiments are isolated from each other: a panic or typed error in one
 //! is caught, reported as a `"failed"` entry in the report, and the
@@ -32,6 +39,7 @@
 //! hash is divisible by `K`) — an end-to-end test of the failure path.
 
 mod apps;
+mod backend_sweep;
 mod capacity;
 mod common;
 mod fig2;
@@ -62,6 +70,9 @@ struct Experiment {
     /// Whether the experiment fans trials out through `common::trials`
     /// (and so honours `Scale::fault` / `--inject-fault`).
     trial_parallel: bool,
+    /// Whether the experiment honours `Scale::backend` / `--bpu`.
+    /// Backend-agnostic experiments always run the paper's hybrid.
+    backend_aware: bool,
 }
 
 const EXPERIMENTS: &[Experiment] = &[
@@ -70,97 +81,119 @@ const EXPERIMENTS: &[Experiment] = &[
         desc: "2-level predictor learning curve (Fig. 2)",
         run: fig2::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "table1",
         desc: "FSM transition / observation table (Table 1)",
         run: table1::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "fig4",
         desc: "randomization-block stability & state distribution (Fig. 4)",
         run: fig4::run,
         trial_parallel: true,
+        backend_aware: false,
     },
     Experiment {
         name: "fig5",
         desc: "PHT granularity, size discovery and alignment (Fig. 5)",
         run: fig5::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "fig6",
         desc: "covert-channel decoding demonstration (Fig. 6)",
         run: fig6::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "table2",
         desc: "covert-channel error rates, 3 CPUs x 2 noise settings (Table 2)",
         run: table2::run,
         trial_parallel: true,
+        backend_aware: true,
     },
     Experiment {
         name: "fig7",
         desc: "branch latency distributions, hit vs miss (Fig. 7)",
         run: fig7::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "fig8",
         desc: "timing-detection error vs number of measurements (Fig. 8)",
         run: fig8::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "fig9",
         desc: "probe latency by PHT state (Fig. 9)",
         run: fig9::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "table3",
         desc: "SGX covert-channel error rates (Table 3)",
         run: table3::run,
         trial_parallel: true,
+        backend_aware: false,
     },
     Experiment {
         name: "apps",
         desc: "attack applications: Montgomery, libjpeg, ASLR (Sec. 9.2)",
         run: apps::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "mitigations",
         desc: "attack error under each defense (Sec. 10)",
         run: mitigation_table::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "baselines",
         desc: "BranchScope vs BTB-based attacks (Sec. 11)",
         run: related::run,
         trial_parallel: false,
+        backend_aware: false,
     },
     Experiment {
         name: "capacity",
         desc: "EXTENSION: channel capacity vs noise and repetition coding",
         run: capacity::run,
         trial_parallel: true,
+        backend_aware: true,
+    },
+    Experiment {
+        name: "backend_sweep",
+        desc: "EXTENSION: attack error & capacity across predictor backends",
+        run: backend_sweep::run,
+        trial_parallel: true,
+        backend_aware: true,
     },
     Experiment {
         name: "sensitivity",
         desc: "EXTENSION: error rate vs PHT size",
         run: sensitivity::run,
         trial_parallel: false,
+        backend_aware: false,
     },
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--quick] [--seed N] [--threads N] [--json PATH] \
-         [--inject-fault NAME[:K]] <experiment>|all ..."
+         [--bpu hybrid|tage|perceptron] [--inject-fault NAME[:K]] <experiment>|all ..."
     );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
@@ -261,6 +294,12 @@ fn main() {
                     parse_u64("--threads", flag_value(&args, &mut i, "--threads")) as usize;
             }
             "--json" => json_path = Some(flag_value(&args, &mut i, "--json").to_owned()),
+            "--bpu" => {
+                let value = flag_value(&args, &mut i, "--bpu");
+                scale.backend = value
+                    .parse()
+                    .unwrap_or_else(|e| fail_usage(&format!("invalid value '{value}' for --bpu: {e}")));
+            }
             "--inject-fault" => {
                 fault = Some(parse_fault(flag_value(&args, &mut i, "--inject-fault")));
             }
@@ -298,6 +337,18 @@ fn main() {
             eprintln!("warning: --inject-fault target '{target}' is not among the selected experiments");
         }
     }
+    if scale.backend != bscope_bpu::BackendKind::Hybrid {
+        let agnostic: Vec<&str> =
+            selected.iter().filter(|e| !e.backend_aware).map(|e| e.name).collect();
+        if !agnostic.is_empty() {
+            eprintln!(
+                "note: --bpu {} applies to backend-aware experiments only; {} model \
+                 hybrid-specific mechanisms and run on the hybrid",
+                scale.backend,
+                agnostic.join(", ")
+            );
+        }
+    }
 
     let mut report = json::Report::new(&scale);
     for exp in &selected {
@@ -330,7 +381,11 @@ fn main() {
                 println!("[{} FAILED after {elapsed:.1?}]\n", exp.name);
             }
         }
-        report.record(exp.name, elapsed.as_secs_f64(), metrics, error);
+        // Backend-agnostic experiments always ran the hybrid, whatever
+        // `--bpu` said; the report entry records what actually happened.
+        let backend =
+            if exp.backend_aware { scale.backend } else { bscope_bpu::BackendKind::Hybrid };
+        report.record(exp.name, backend.name(), elapsed.as_secs_f64(), metrics, error);
     }
 
     let any_failed = report.has_failures();

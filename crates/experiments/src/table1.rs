@@ -21,7 +21,7 @@ fn empirical_observation(
     let addr = sys.process(pid).vaddr_of(0x6d);
     // Fresh entries start weakly not-taken; force the paper's "no previous
     // history" starting point explicitly for exactness.
-    sys.core_mut().bpu_mut().bimodal_mut().set_state(addr, PhtState::WeaklyNotTaken);
+    sys.core_mut().bpu_mut().set_pht_state(addr, PhtState::WeaklyNotTaken);
     for _ in 0..3 {
         sys.cpu(pid).branch_at_abs(addr, prime);
     }

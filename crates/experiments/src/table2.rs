@@ -1,7 +1,7 @@
 //! Table 2: covert-channel error rates on three CPUs, isolated vs noisy.
 
 use crate::common::{metric, trials, Scale};
-use bscope_bpu::MicroarchProfile;
+use bscope_bpu::{BackendKind, MicroarchProfile};
 use bscope_core::covert::CovertChannel;
 use bscope_core::{AttackConfig, BscopeError};
 use bscope_harness::splitmix64;
@@ -33,19 +33,21 @@ const PAYLOADS: [Payload; 3] = [Payload::AllZero, Payload::AllOne, Payload::Rand
 /// message) derives from the trial `seed` handed out by the runner.
 fn one_run(
     profile: &MicroarchProfile,
+    backend: BackendKind,
     noise: &NoiseConfig,
     payload: Payload,
     bits: usize,
     seed: u64,
 ) -> f64 {
-    let mut sys = System::new(profile.clone(), seed)
+    let mut sys = System::with_backend(profile.clone(), backend, seed)
         .with_noise(noise.clone())
         .expect("noise config validated before fan-out");
     let sender = sys.spawn("trojan", AslrPolicy::Disabled);
     let receiver = sys.spawn("spy", AslrPolicy::Disabled);
     let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x7AB1E2));
     let message = payload.bits(bits, &mut rng);
-    let mut channel = CovertChannel::new(AttackConfig::for_profile(profile)).expect("valid config");
+    let mut channel =
+        CovertChannel::new(AttackConfig::for_backend(profile, backend)).expect("valid config");
     channel.transmit(&mut sys, sender, receiver, &message).error_rate
 }
 
@@ -62,7 +64,7 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<(String, [
     let settings =
         [("isolated", NoiseConfig::isolated_core()), ("with noise", NoiseConfig::system_activity())];
     for machine in &machines {
-        CovertChannel::new(AttackConfig::for_profile(machine))?;
+        CovertChannel::new(AttackConfig::for_backend(machine, scale.backend))?;
     }
     for (_, noise) in &settings {
         noise.validate()?;
@@ -75,7 +77,7 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<(String, [
 
     let per_trial = trials(scale, cells.len() * runs, 0x7AB2E2, |idx, seed| {
         let (m, s, p) = cells[idx / runs];
-        one_run(&machines[m], &settings[s].1, PAYLOADS[p], bits, seed)
+        one_run(&machines[m], scale.backend, &settings[s].1, PAYLOADS[p], bits, seed)
     });
 
     Ok(cells
@@ -97,7 +99,8 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<(String, [
 pub fn run(scale: &Scale) -> Result<(), BscopeError> {
     let bits = scale.n(20_000, 1_000);
     let runs = scale.n(10, 2);
-    println!("average error rate transmitting {bits} bits per run, {runs} runs per cell\n");
+    println!("average error rate transmitting {bits} bits per run, {runs} runs per cell");
+    println!("predictor backend: {}\n", scale.backend);
     println!("{:<26} {:>8} {:>8} {:>8}", "", "All 0", "All 1", "Random");
 
     // Paper's Table 2 for side-by-side comparison.
@@ -166,5 +169,19 @@ mod tests {
         // simulator, or the PRNG stream changes.
         let expected = 0.15;
         assert_eq!(row[2], expected, "Skylake isolated / random payload drifted");
+    }
+
+    /// Backend-refactor regression: selecting the hybrid *explicitly* is
+    /// the identity. The whole table — every machine, noise setting, and
+    /// payload — must come out equal to the default path's, and the
+    /// Skylake cell must still hit the pinned pre-refactor value, proving
+    /// the `PredictorBackend` indirection changed no hybrid behaviour.
+    #[test]
+    fn explicit_hybrid_backend_reproduces_the_pinned_table() {
+        let mut explicit = Scale::quick();
+        explicit.backend = BackendKind::Hybrid;
+        let rows = compute(&explicit, 1_000, 2).expect("valid preset configs");
+        assert_eq!(rows, compute(&Scale::quick(), 1_000, 2).expect("valid preset configs"));
+        assert_eq!(rows[0].1[2], 0.15, "pinned pre-refactor value drifted");
     }
 }

@@ -83,6 +83,76 @@ fn bad_flag_values_name_the_flag_before_usage() {
 }
 
 #[test]
+fn bad_bpu_value_names_the_flag_before_usage() {
+    let out = run(&["--bpu", "neural", "table2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("error: invalid value 'neural' for --bpu: unknown backend 'neural'"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("expected hybrid, tage, or perceptron"), "stderr: {err}");
+    assert!(err.find("error:").unwrap() < err.find("usage:").unwrap(), "error precedes usage");
+
+    let out = run(&["table2", "--bpu"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--bpu requires a value"), "{}", stderr(&out));
+}
+
+#[test]
+fn json_entries_record_the_backend_that_ran() {
+    let json = scratch("cli_backend_report.json");
+    let json_str = json.to_str().unwrap();
+    let out = run(&[
+        "--quick",
+        "--threads",
+        "2",
+        "--bpu",
+        "tage",
+        "--json",
+        json_str,
+        "backend_sweep",
+        "table1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    // Backend-agnostic experiments run the hybrid whatever --bpu says, and
+    // the harness says so up front.
+    assert!(
+        stderr(&out).contains("note: --bpu tage applies to backend-aware experiments only"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let report = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    assert_balanced(&report);
+    let entry_of = |name: &str| {
+        report
+            .split("\"name\": ")
+            .find(|chunk| chunk.starts_with(&format!("\"{name}\"")))
+            .unwrap_or_else(|| panic!("entry for {name} in report:\n{report}"))
+            .to_owned()
+    };
+    let sweep = entry_of("backend_sweep");
+    assert!(sweep.contains("\"backend\": \"tage\""), "sweep entry honours --bpu: {sweep}");
+    // The sweep populates an error-rate and capacity metric per backend.
+    for backend in ["hybrid", "tage", "perceptron"] {
+        assert!(
+            sweep.contains(&format!("\"backend_sweep/{backend}/isolated_error_pct\"")),
+            "error metric for {backend}: {sweep}"
+        );
+        assert!(
+            sweep.contains(&format!("\"backend_sweep/{backend}/capacity_bits_per_mcycle\"")),
+            "capacity metric for {backend}: {sweep}"
+        );
+    }
+    let table1 = entry_of("table1");
+    assert!(
+        table1.contains("\"backend\": \"hybrid\""),
+        "backend-agnostic entry records the hybrid: {table1}"
+    );
+}
+
+#[test]
 fn inject_fault_rejects_invalid_targets() {
     let out = run(&["--quick", "--inject-fault", "fig2", "fig2"]);
     assert_eq!(out.status.code(), Some(2));

@@ -246,7 +246,7 @@ mod tests {
         }
         let addr = sys.process(pid).vaddr_of(5);
         assert_eq!(
-            sys.core().bpu().bimodal_state(addr),
+            sys.core().bpu().pht_state(addr),
             bscope_bpu::PhtState::StronglyTaken,
             "the always-taken je trains the PHT entry at its layout offset"
         );

@@ -143,7 +143,7 @@ mod tests {
         let mut cpu = sys.cpu(pid);
         interp.run_to_halt(&mut cpu);
         let addr = sys.process(pid).vaddr_of(LISTING2_BRANCH_OFFSET);
-        assert_eq!(sys.core().bpu().bimodal_state(addr), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(addr), PhtState::StronglyTaken);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
             let ev = core.execute_branch(addr, Outcome::Taken);
             assert!(ev.mispredicted, "static not-taken always misses a taken branch");
         }
-        assert_eq!(core.bpu().bimodal_state(addr), PhtState::WeaklyNotTaken, "PHT untouched");
+        assert_eq!(core.bpu().pht_state(addr), PhtState::WeaklyNotTaken, "PHT untouched");
         assert!(!core.bpu().btb().contains(addr), "BTB untouched");
         assert_eq!(core.bpu().ghr().value(), 0, "GHR untouched");
     }

@@ -63,7 +63,7 @@ mod tests {
         for _ in 0..4 {
             core.execute_branch(0x100, Outcome::Taken);
         }
-        assert_eq!(core.bpu().bimodal_state(0x100), PhtState::StronglyTaken);
+        assert_eq!(core.bpu().pht_state(0x100), PhtState::StronglyTaken);
     }
 
     #[test]
@@ -74,7 +74,7 @@ mod tests {
             core.execute_branch(0x100, Outcome::Taken);
         }
         assert_eq!(
-            core.bpu().bimodal_state(0x100),
+            core.bpu().pht_state(0x100),
             PhtState::WeaklyNotTaken,
             "no update ever commits"
         );
@@ -94,7 +94,7 @@ mod tests {
             for _ in 0..4 {
                 core.execute_branch(addr, Outcome::Taken);
             }
-            if core.bpu().bimodal_state(addr) != PhtState::StronglyTaken {
+            if core.bpu().pht_state(addr) != PhtState::StronglyTaken {
                 unsaturated += 1;
             }
         }

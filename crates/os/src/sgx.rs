@@ -212,7 +212,7 @@ mod tests {
             }
         }
         let addr = sys.process(enclave.pid()).vaddr_of(0x6d);
-        assert_eq!(sys.core().bpu().bimodal_state(addr), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(addr), PhtState::StronglyTaken);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The system: one shared core plus a process table.
 
 use crate::process::{AslrPolicy, Pid, Process};
-use bscope_bpu::{MicroarchProfile, Outcome, VirtAddr};
+use bscope_bpu::{BackendKind, MicroarchProfile, Outcome, VirtAddr};
 use bscope_uarch::{BranchEvent, NoiseConfig, PerfCounters, SimCore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,10 +35,18 @@ pub struct System {
 
 impl System {
     /// Creates a single-core system of the given microarchitecture — the
-    /// co-resident setting of the paper's threat model (§3).
+    /// co-resident setting of the paper's threat model (§3) — on the
+    /// paper's hybrid predictor.
     #[must_use]
     pub fn new(profile: MicroarchProfile, seed: u64) -> Self {
         System::with_cores(profile, seed, 1)
+    }
+
+    /// Creates a single-core system on an explicit predictor backend;
+    /// [`System::new`] is the [`BackendKind::Hybrid`] special case.
+    #[must_use]
+    pub fn with_backend(profile: MicroarchProfile, backend: BackendKind, seed: u64) -> Self {
+        System::with_cores_backend(profile, backend, seed, 1)
     }
 
     /// Creates a system with `cores` physical cores, each with its own
@@ -51,10 +59,31 @@ impl System {
     /// Panics if `cores` is zero.
     #[must_use]
     pub fn with_cores(profile: MicroarchProfile, seed: u64, cores: usize) -> Self {
+        System::with_cores_backend(profile, BackendKind::Hybrid, seed, cores)
+    }
+
+    /// Creates a multi-core system where every core's BPU is built on the
+    /// given predictor backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn with_cores_backend(
+        profile: MicroarchProfile,
+        backend: BackendKind,
+        seed: u64,
+        cores: usize,
+    ) -> Self {
         assert!(cores > 0, "a system needs at least one core");
         System {
             cores: (0..cores)
-                .map(|i| SimCore::new(profile.clone(), seed.wrapping_add(i as u64 * 0x9E37)))
+                .map(|i| {
+                    SimCore::with_backend(
+                        backend.build(profile.clone()),
+                        seed.wrapping_add(i as u64 * 0x9E37),
+                    )
+                })
                 .collect(),
             processes: Vec::new(),
             core_of: Vec::new(),
@@ -334,7 +363,7 @@ mod tests {
             sys.cpu(victim).branch_at(0x6d, Outcome::Taken);
         }
         let spy_addr = sys.process(spy).vaddr_of(0x6d);
-        assert_eq!(sys.core().bpu().bimodal_state(spy_addr), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(spy_addr), PhtState::StronglyTaken);
     }
 
     #[test]

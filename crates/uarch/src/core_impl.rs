@@ -6,7 +6,10 @@ use crate::icache::InstructionCache;
 use crate::noise::NoiseConfig;
 use crate::policy::{BpuPolicy, MeasurementFuzz, NoPolicy};
 use crate::timing::TimingModel;
-use bscope_bpu::{HybridPredictor, MicroarchProfile, Outcome, Prediction, PredictorKind, VirtAddr};
+use bscope_bpu::{
+    HybridPredictor, MicroarchProfile, Outcome, Prediction, PredictorBackend, PredictorKind,
+    VirtAddr,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,7 +44,7 @@ pub const NOISE_CTX: ContextId = ContextId::MAX;
 /// ```
 #[derive(Debug)]
 pub struct SimCore {
-    bpu: HybridPredictor,
+    bpu: PredictorBackend,
     timing: TimingModel,
     icache: InstructionCache,
     counters: Vec<PerfCounters>,
@@ -76,13 +79,21 @@ impl From<&NoiseConfig> for NoiseParams {
 }
 
 impl SimCore {
-    /// Creates a core for the given microarchitecture, with all randomness
-    /// derived from `seed`.
+    /// Creates a core for the given microarchitecture with the paper's
+    /// hybrid predictor, all randomness derived from `seed`.
     #[must_use]
     pub fn new(profile: MicroarchProfile, seed: u64) -> Self {
-        let timing = TimingModel::new(profile.timing);
+        SimCore::with_backend(PredictorBackend::Hybrid(HybridPredictor::new(profile)), seed)
+    }
+
+    /// Creates a core running on an explicit predictor backend (see
+    /// [`bscope_bpu::BackendKind`]); [`SimCore::new`] is the hybrid special
+    /// case. Timing parameters come from the backend's effective profile.
+    #[must_use]
+    pub fn with_backend(backend: PredictorBackend, seed: u64) -> Self {
+        let timing = TimingModel::new(backend.profile().timing);
         SimCore {
-            bpu: HybridPredictor::new(profile),
+            bpu: backend,
             timing,
             icache: InstructionCache::l1i_default(),
             counters: vec![PerfCounters::new(); 2],
@@ -151,14 +162,14 @@ impl SimCore {
 
     /// Read access to the shared branch prediction unit.
     #[must_use]
-    pub fn bpu(&self) -> &HybridPredictor {
+    pub fn bpu(&self) -> &PredictorBackend {
         &self.bpu
     }
 
     /// Exclusive access to the shared branch prediction unit (mitigations,
     /// reverse-engineering tooling and tests use this).
     #[must_use]
-    pub fn bpu_mut(&mut self) -> &mut HybridPredictor {
+    pub fn bpu_mut(&mut self) -> &mut PredictorBackend {
         &mut self.bpu
     }
 
@@ -376,7 +387,7 @@ mod tests {
             c.execute_branch_in(1, 0x30_0000, Outcome::Taken, None);
         }
         let pht_size = c.profile().pht_size as u64;
-        assert_eq!(c.bpu().bimodal_state(0x30_0000 + pht_size), PhtState::StronglyTaken);
+        assert_eq!(c.bpu().pht_state(0x30_0000 + pht_size), PhtState::StronglyTaken);
     }
 
     #[test]

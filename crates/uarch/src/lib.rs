@@ -4,9 +4,12 @@
 //! [`bscope_bpu`] predictor structures:
 //!
 //! * [`SimCore`] — a core that executes conditional branches against a
-//!   shared [`HybridPredictor`](bscope_bpu::HybridPredictor), charges cycles
-//!   for them and exposes the two measurement channels the paper's attacker
-//!   uses: **performance counters** (§7) and the **timestamp counter** (§8);
+//!   shared [`PredictorBackend`](bscope_bpu::PredictorBackend) — the paper's
+//!   [`HybridPredictor`](bscope_bpu::HybridPredictor) by default
+//!   ([`SimCore::new`]), or the TAGE / perceptron substrates via
+//!   [`SimCore::with_backend`] — charges cycles for them and exposes the
+//!   two measurement channels the paper's attacker uses: **performance
+//!   counters** (§7) and the **timestamp counter** (§8);
 //! * [`TimingModel`] — per-branch latency calibrated against the paper's
 //!   Figure 7 distributions (hit ≈ 85 cycles, misprediction ≈ +50, heavy
 //!   upper tail, extra cost and variance for cold-i-cache executions);

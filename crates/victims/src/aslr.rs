@@ -70,7 +70,7 @@ mod tests {
         assert_eq!(v.steps_executed(), 3);
         let addr = sys.process(pid).vaddr_of(VICTIM_BRANCH_OFFSET);
         assert_ne!(addr, 0x40_0000 + VICTIM_BRANCH_OFFSET, "base must be randomized");
-        assert_eq!(sys.core().bpu().bimodal_state(addr), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(addr), PhtState::StronglyTaken);
     }
 
     #[test]

@@ -131,6 +131,6 @@ mod tests {
         let mut cpu = sys.cpu(pid);
         v.run(&mut cpu, 4);
         let addr = sys.process(pid).vaddr_of(VICTIM_BRANCH_OFFSET);
-        assert_eq!(sys.core().bpu().bimodal_state(addr), PhtState::StronglyTaken);
+        assert_eq!(sys.core().bpu().pht_state(addr), PhtState::StronglyTaken);
     }
 }

@@ -2,7 +2,7 @@
 
 use branchscope::attack::{AttackConfig, BranchScope, DirectionDict, ProbeKind};
 use branchscope::bpu::{
-    CounterKind, HybridPredictor, MicroarchProfile, Outcome, PhtState,
+    CounterKind, DirectionPredictor, HybridPredictor, MicroarchProfile, Outcome, PhtState,
 };
 use branchscope::os::{AslrPolicy, System};
 use proptest::prelude::*;
@@ -43,6 +43,35 @@ proptest! {
         }
     }
 
+    /// Backend-refactor property: a hybrid driven through a
+    /// `dyn DirectionPredictor` trait object stays in perfect lockstep with
+    /// a directly-driven `HybridPredictor` — identical prediction stream,
+    /// identical correctness bits, and identical PHT states everywhere —
+    /// for any branch/outcome sequence. The trait adds behaviour-preserving
+    /// indirection, nothing else.
+    #[test]
+    fn trait_dispatched_hybrid_matches_direct_hybrid(
+        trace in proptest::collection::vec((0u64..8192, any::<bool>()), 1..300),
+    ) {
+        let mut direct = HybridPredictor::new(MicroarchProfile::skylake());
+        let mut dispatched: Box<dyn DirectionPredictor> =
+            Box::new(HybridPredictor::new(MicroarchProfile::skylake()));
+        for &(addr, taken) in &trace {
+            let outcome = Outcome::from_bool(taken);
+            let (pd, cd) = direct.execute(addr, outcome, None);
+            let (pb, cb) = dispatched.execute(addr, outcome, None);
+            prop_assert_eq!(pd, pb, "prediction diverged at {}", addr);
+            prop_assert_eq!(cd, cb, "correctness diverged at {}", addr);
+        }
+        // Whole-PHT agreement, not just the addresses the trace visited.
+        let pht_size = DirectionPredictor::profile(&direct).pht_size as u64;
+        for addr in 0..pht_size {
+            prop_assert_eq!(direct.pht_state(addr), dispatched.pht_state(addr));
+        }
+        prop_assert_eq!(direct.stats(), dispatched.stats());
+        prop_assert_eq!(direct.ghr().value(), dispatched.ghr().value());
+    }
+
     /// Priming is idempotent at the architectural level: after a prime, the
     /// target entry is in the configured strong state regardless of any
     /// prior branch history.
@@ -63,7 +92,7 @@ proptest! {
         let state = if prime_taken { PhtState::StronglyTaken } else { PhtState::StronglyNotTaken };
         let mut prime = branchscope::attack::TargetedPrime::new(target, state);
         prime.prime(&mut sys.cpu(spy));
-        prop_assert_eq!(sys.core().bpu().bimodal_state(target), state);
+        prop_assert_eq!(sys.core().bpu().pht_state(target), state);
         // The victim's own BTB entry is always evicted; a *taken* prime then
         // installs the spy's entry at the same address (same tag), so only
         // the not-taken prime leaves the slot empty.
