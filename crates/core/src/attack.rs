@@ -6,6 +6,7 @@ use crate::prime::{SearchedPrime, TargetedPrime};
 use crate::probe::{probe_once, probe_with_counters, ProbeKind, ProbePattern};
 use bscope_bpu::{BackendKind, CounterKind, MicroarchProfile, Outcome, PhtState, VirtAddr};
 use bscope_os::{Pid, System};
+use bscope_uarch::Span;
 
 /// Configuration of a BranchScope instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,7 +141,9 @@ impl BranchScope {
     /// observation, e.g. probing through the §8 timing channel instead of
     /// the performance counters.
     pub fn prime(&mut self, sys: &mut System, spy: Pid, target: VirtAddr) {
+        sys.core_mut().trace_span_begin(Span::Prime);
         self.run_prime(sys, spy, target);
+        sys.core_mut().trace_span_end(Span::Prime);
     }
 
     /// Runs one full prime → victim → probe round and returns the raw
@@ -156,6 +159,7 @@ impl BranchScope {
         target: VirtAddr,
         trigger: impl FnOnce(&mut System),
     ) -> ProbePattern {
+        sys.core_mut().trace_span_begin(Span::Prime);
         self.run_prime(sys, spy, target); // stage 1
         let history_indexed = sys.core().bpu().kind() != BackendKind::Hybrid;
         if history_indexed {
@@ -173,23 +177,30 @@ impl BranchScope {
             }
             self.scramble_history(sys, spy, target);
         }
+        sys.core_mut().trace_span_end(Span::Prime);
         // Stage 2: wait for the slowed-down victim to reach and execute the
         // monitored branch (Listing 3's usleep). Background noise keeps
         // running on the shared BPU throughout.
+        sys.core_mut().trace_span_begin(Span::VictimWindow);
         sys.cpu(spy).work(self.config.victim_wait_cycles / 2);
         trigger(sys);
         sys.cpu(spy).work(self.config.victim_wait_cycles / 2);
-        if !history_indexed {
+        sys.core_mut().trace_span_end(Span::VictimWindow);
+        sys.core_mut().trace_span_begin(Span::Probe);
+        let pattern = if history_indexed {
+            // Stage 3 on a history-indexed backend: each probe observation
+            // gets its own fresh history context (see `scramble_history`).
+            self.scramble_history(sys, spy, target);
+            let first = probe_once(&mut sys.cpu(spy), target, self.config.probe);
+            self.scramble_history(sys, spy, target);
+            let second = probe_once(&mut sys.cpu(spy), target, self.config.probe);
+            ProbePattern::from_hits(first, second)
+        } else {
             // stage 3, the paper's back-to-back probe pair
-            return probe_with_counters(&mut sys.cpu(spy), target, self.config.probe);
-        }
-        // Stage 3 on a history-indexed backend: each probe observation gets
-        // its own fresh history context (see `scramble_history`).
-        self.scramble_history(sys, spy, target);
-        let first = probe_once(&mut sys.cpu(spy), target, self.config.probe);
-        self.scramble_history(sys, spy, target);
-        let second = probe_once(&mut sys.cpu(spy), target, self.config.probe);
-        ProbePattern::from_hits(first, second)
+            probe_with_counters(&mut sys.cpu(spy), target, self.config.probe)
+        };
+        sys.core_mut().trace_span_end(Span::Probe);
+        pattern
     }
 
     /// Spy-side history re-randomization, used around every

@@ -2,6 +2,7 @@
 
 use bscope_bpu::{Counter, CounterKind, MicroarchProfile, Outcome, PhtState, VirtAddr};
 use bscope_os::CpuView;
+use bscope_uarch::Span;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -103,9 +104,11 @@ impl RandomizationBlock {
 
     /// Executes the whole block on the spy's CPU view (stage 1).
     pub fn execute(&self, cpu: &mut CpuView<'_>) {
+        cpu.core_mut().trace_span_begin(Span::Randomize);
         for &(off, outcome) in &self.branches {
             cpu.branch_at_abs(self.region_base + u64::from(off), outcome);
         }
+        cpu.core_mut().trace_span_end(Span::Randomize);
     }
 
     /// How many of the block's branches collide with `addr` in a bimodal

@@ -18,7 +18,7 @@
 //! perceptron collapses to a coin flip because its per-branch state is a
 //! weight vector with no FSM for the probes to read.
 
-use crate::common::{metric, trials, Scale};
+use crate::common::{metric, trials, with_tracer, Scale};
 use bscope_bpu::{BackendKind, MicroarchProfile};
 use bscope_core::covert::CovertChannel;
 use bscope_core::{AttackConfig, BscopeError};
@@ -38,6 +38,7 @@ fn one_run(
     noise: Option<&NoiseConfig>,
     bits: usize,
     seed: u64,
+    tracer: &mut bscope_uarch::Tracer,
 ) -> (f64, f64) {
     let profile = MicroarchProfile::skylake();
     let mut sys = System::with_backend(profile.clone(), backend, seed);
@@ -50,19 +51,23 @@ fn one_run(
     let message: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
     let mut channel =
         CovertChannel::new(AttackConfig::for_backend(&profile, backend)).expect("valid config");
-    let result = channel.transmit(&mut sys, sender, receiver, &message);
+    let result =
+        with_tracer(&mut sys, tracer, |sys| channel.transmit(sys, sender, receiver, &message));
     (result.error_rate, result.bits_per_mcycle())
 }
 
-/// The full sweep: per backend, `[(error_rate, bits_per_mcycle); 2]` for
-/// isolated and noisy, each cell averaged over `runs` transmissions.
-/// Configurations are validated before the fan-out; results are identical
-/// for every thread count.
+/// One backend's row: `(error_rate, bits_per_mcycle)` per noise setting.
+type SweepRow = [(f64, f64); SETTINGS];
+
+/// The full sweep: per backend, a [`SweepRow`] for isolated and noisy,
+/// each cell averaged over `runs` transmissions. Configurations are
+/// validated before the fan-out; results are identical for every thread
+/// count.
 pub fn compute(
     scale: &Scale,
     bits: usize,
     runs: usize,
-) -> Result<Vec<(BackendKind, [(f64, f64); SETTINGS])>, BscopeError> {
+) -> Result<Vec<(BackendKind, SweepRow)>, BscopeError> {
     let profile = MicroarchProfile::skylake();
     for backend in BackendKind::ALL {
         CovertChannel::new(AttackConfig::for_backend(&profile, backend))?;
@@ -72,9 +77,15 @@ pub fn compute(
     let settings = [None, Some(noise)];
 
     let cells = BackendKind::ALL.len() * SETTINGS;
-    let per_trial = trials(scale, cells * runs, 0xBAC2, |idx, seed| {
+    let per_trial = trials(scale, cells * runs, 0xBAC2, |idx, seed, tracer| {
         let cell = idx / runs;
-        one_run(BackendKind::ALL[cell / SETTINGS], settings[cell % SETTINGS].as_ref(), bits, seed)
+        one_run(
+            BackendKind::ALL[cell / SETTINGS],
+            settings[cell % SETTINGS].as_ref(),
+            bits,
+            seed,
+            tracer,
+        )
     });
 
     Ok(BackendKind::ALL

@@ -1,7 +1,7 @@
 //! Extension (beyond the paper): covert-channel capacity — error rate and
 //! throughput as functions of background noise and repetition coding.
 
-use crate::common::{metric, trials, Scale};
+use crate::common::{metric, trials, with_tracer, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::covert::CovertChannel;
 use bscope_core::{AttackConfig, BscopeError};
@@ -39,7 +39,7 @@ pub fn compute(scale: &Scale, bits: usize) -> Result<Vec<(f64, f64)>, BscopeErro
     let message: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
     let cells = NOISE_LEVELS.len() * REDUNDANCIES.len();
 
-    Ok(trials(scale, cells, 0xCA9, |idx, seed| {
+    Ok(trials(scale, cells, 0xCA9, |idx, seed, tracer| {
         let (_, rate) = NOISE_LEVELS[idx / REDUNDANCIES.len()];
         let redundancy = REDUNDANCIES[idx % REDUNDANCIES.len()];
         let mut sys = System::with_backend(profile.clone(), scale.backend, seed);
@@ -54,11 +54,13 @@ pub fn compute(scale: &Scale, bits: usize) -> Result<Vec<(f64, f64)>, BscopeErro
         let receiver = sys.spawn("spy", AslrPolicy::Disabled);
         let mut channel =
             CovertChannel::new(AttackConfig::for_backend(&profile, scale.backend)).expect("valid");
-        let result = if redundancy == 1 {
-            channel.transmit(&mut sys, sender, receiver, &message)
-        } else {
-            channel.transmit_with_redundancy(&mut sys, sender, receiver, &message, redundancy)
-        };
+        let result = with_tracer(&mut sys, tracer, |sys| {
+            if redundancy == 1 {
+                channel.transmit(sys, sender, receiver, &message)
+            } else {
+                channel.transmit_with_redundancy(sys, sender, receiver, &message, redundancy)
+            }
+        });
         (result.error_rate, message.len() as f64 * 1e6 / result.cycles as f64)
     }))
 }

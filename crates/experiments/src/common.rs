@@ -3,7 +3,8 @@
 //! and small output helpers.
 
 use bscope_bpu::BackendKind;
-use bscope_harness::{run_trials_with, FaultPlan, FaultPolicy, RunOptions};
+use bscope_harness::{run_trials_traced, FaultPlan, FaultPolicy, RunOptions, TrialTrace};
+use bscope_uarch::Tracer;
 use std::sync::{Mutex, PoisonError};
 
 /// Experiment scale: `full()` approaches the paper's sample sizes where
@@ -25,6 +26,10 @@ pub struct Scale {
     /// Deterministic fault injection for the trial-parallel experiments
     /// (`--inject-fault`); `None` in normal runs.
     pub fault: Option<FaultPlan>,
+    /// Whether trial-parallel experiments capture structured traces
+    /// (`--trace`/`--metrics`). Off by default: the disabled path hands
+    /// every trial a no-op tracer that never allocates or builds events.
+    pub trace: bool,
 }
 
 impl Scale {
@@ -35,6 +40,7 @@ impl Scale {
             threads: 0,
             backend: BackendKind::Hybrid,
             fault: None,
+            trace: false,
         }
     }
 
@@ -53,10 +59,19 @@ impl Scale {
     }
 }
 
+/// Newest events kept per trial when tracing is on. The ring keeps the tail
+/// of the trial (its metrics stay exact for everything evicted); 1024 spans
+/// a full attack round comfortably while bounding JSONL output.
+pub const TRACE_EVENTS_PER_TRIAL: usize = 1024;
+
 /// Runs `n` trials through the deterministic parallel runner with this
 /// scale's thread count and fault plan. Seeds derive from
 /// `scale.seed ^ salt`, exactly as the former direct `run_trials` calls,
 /// so results are unchanged — and bit-identical for every thread count.
+///
+/// Each trial receives a [`Tracer`]: disabled (no-op) unless `scale.trace`
+/// is set, in which case per-trial captures accumulate in a global sink the
+/// main loop drains per experiment (see [`drain_traces`]).
 ///
 /// # Panics
 ///
@@ -66,11 +81,47 @@ impl Scale {
 pub fn trials<T, F>(scale: &Scale, n: usize, salt: u64, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize, u64) -> T + Sync,
+    F: Fn(usize, u64, &mut Tracer) -> T + Sync,
 {
     let opts =
         RunOptions { threads: scale.threads, policy: FaultPolicy::Propagate, fault: scale.fault };
-    run_trials_with(n, scale.seed ^ salt, &opts, f).expect_complete()
+    let capacity = if scale.trace { Some(TRACE_EVENTS_PER_TRIAL) } else { None };
+    let (report, traces) = run_trials_traced(n, scale.seed ^ salt, &opts, capacity, f);
+    if !traces.is_empty() {
+        traces_sink().extend(traces);
+    }
+    report.expect_complete()
+}
+
+/// Per-trial traces captured by [`trials`] since the last drain. Same
+/// scoping discipline as the metric sink: the main loop drains it per
+/// experiment when `--trace`/`--metrics` is active.
+static TRACES: Mutex<Vec<TrialTrace>> = Mutex::new(Vec::new());
+
+fn traces_sink() -> std::sync::MutexGuard<'static, Vec<TrialTrace>> {
+    TRACES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Takes every trace captured since the last drain, in trial order within
+/// each `trials` call and call order across calls.
+pub fn drain_traces() -> Vec<TrialTrace> {
+    std::mem::take(&mut traces_sink())
+}
+
+/// Installs the trial's tracer on `sys`'s core for the duration of `body`,
+/// then reclaims it so the harness can collect the capture. With tracing
+/// disabled this is a pair of no-op moves. (A panicking `body` loses the
+/// capture along with the trial — the trial's report entry carries the
+/// failure instead.)
+pub fn with_tracer<T>(
+    sys: &mut bscope_os::System,
+    tracer: &mut Tracer,
+    body: impl FnOnce(&mut bscope_os::System) -> T,
+) -> T {
+    sys.core_mut().set_tracer(std::mem::take(tracer));
+    let out = body(sys);
+    *tracer = sys.core_mut().take_tracer();
+    out
 }
 
 /// Headline metrics reported by experiments since the last drain; the main
@@ -192,15 +243,50 @@ mod tests {
     fn trials_match_plain_runner_and_honor_fault_plans() {
         let mut scale = Scale::quick();
         scale.threads = 2;
-        let out = trials(&scale, 8, 0xABC, |idx, seed| (idx, seed));
+        let out = trials(&scale, 8, 0xABC, |idx, seed, _| (idx, seed));
         assert_eq!(out, bscope_harness::run_trials(8, scale.seed ^ 0xABC, 1, |i, s| (i, s)));
 
         scale.fault = Some(bscope_harness::FaultPlan::keyed(0).panic_on_index(3));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            trials(&scale, 8, 0xABC, |idx, seed| (idx, seed))
+            trials(&scale, 8, 0xABC, |idx, seed, _| (idx, seed))
         }))
         .expect_err("injected fault must propagate");
         let msg = bscope_harness::panic_message(&*err);
         assert!(msg.contains("trial 3"), "fault names its trial: {msg}");
+    }
+
+    // The trace sink is global (like the metric sink), so one test covers
+    // capture + drain semantics end to end.
+    #[test]
+    fn traced_trials_feed_the_sink_and_untraced_ones_do_not() {
+        use bscope_uarch::TraceEvent;
+        let _ = drain_traces(); // discard anything stale
+        let mut scale = Scale::quick();
+        scale.threads = 1;
+
+        // trace = false: tracer is disabled, sink stays empty.
+        let _ = trials(&scale, 3, 0x11, |_, _, tracer| {
+            assert!(!tracer.is_enabled());
+        });
+        assert!(drain_traces().is_empty());
+
+        // trace = true: one TrialTrace per trial, in trial order, stamped
+        // with the replay seed.
+        scale.trace = true;
+        let _ = trials(&scale, 3, 0x11, |idx, _, tracer| {
+            for _ in 0..=idx {
+                tracer.emit_with(|| TraceEvent::NoiseBurst { injected: 1 });
+            }
+        });
+        let traces = drain_traces();
+        assert_eq!(traces.len(), 3);
+        for (idx, t) in traces.iter().enumerate() {
+            assert_eq!(t.trial_index, idx);
+            assert_eq!(t.seed, bscope_harness::trial_seed(scale.seed ^ 0x11, idx as u64));
+            assert_eq!(t.events.len(), idx + 1);
+            assert_eq!(t.metrics.counter("noise_branches"), (idx + 1) as u64);
+        }
+        // The drain emptied the sink.
+        assert!(drain_traces().is_empty());
     }
 }

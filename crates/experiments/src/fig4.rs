@@ -1,7 +1,7 @@
 //! Figure 4: stability of randomization blocks (scatter of dominant-pattern
 //! frequencies) and the distribution of decoded PHT states.
 
-use crate::common::{metric, trials, Scale};
+use crate::common::{metric, trials, with_tracer, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::stability::{characterize_block, BlockStability, StabilityConfig, StateDistribution};
 use bscope_core::BscopeError;
@@ -17,12 +17,14 @@ use bscope_uarch::NoiseConfig;
 /// worker count. Trial seeds derive from `scale.seed ^ 0xF164`, unchanged
 /// from when this took a bare seed.
 pub fn analyze_parallel(config: &StabilityConfig, scale: &Scale) -> Vec<BlockStability> {
-    trials(scale, config.blocks, 0xF164, |idx, trial_seed| {
+    trials(scale, config.blocks, 0xF164, |idx, trial_seed, tracer| {
         let mut sys = System::new(MicroarchProfile::haswell(), trial_seed)
             .with_noise(NoiseConfig::isolated_core())
             .expect("preset noise is valid");
         let spy = sys.spawn("spy", AslrPolicy::Disabled);
-        characterize_block(&mut sys, spy, config, config.seed + idx as u64)
+        with_tracer(&mut sys, tracer, |sys| {
+            characterize_block(sys, spy, config, config.seed + idx as u64)
+        })
     })
 }
 

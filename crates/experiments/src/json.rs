@@ -29,7 +29,8 @@ struct Entry {
     error: Option<String>,
 }
 
-/// JSON string escaping (quotes, backslashes, control characters).
+/// JSON string escaping (quotes, backslashes, control characters — both
+/// the C0 range and DEL, which some strict parsers reject raw).
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -39,7 +40,7 @@ fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c as u32 == 0x7f => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -131,10 +132,39 @@ impl Report {
         out
     }
 
-    /// Writes the report to `path`.
+    /// Writes the report to `path` atomically (see [`write_atomic`]): a
+    /// consumer watching the path never observes a truncated report, and a
+    /// crash mid-write leaves any previous report intact.
     pub fn write_to(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        write_atomic(path, &self.to_json())
     }
+}
+
+/// Atomic file write: stream into a hidden temp file *in the destination's
+/// directory* (rename is only atomic within a filesystem), fsync, then
+/// rename over `path`. On any error the temp file is cleaned up and the
+/// destination is left exactly as it was.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let dest = std::path::Path::new(path);
+    let dir = match dest.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let name = dest
+        .file_name()
+        .map_or_else(|| "out".to_owned(), |n| n.to_string_lossy().into_owned());
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, dest)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -155,6 +185,51 @@ mod tests {
     fn escaping_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn escaping_handles_del_and_non_bmp() {
+        // DEL is a control character some strict parsers reject unescaped.
+        assert_eq!(escape("a\u{7f}b"), "a\\u007fb");
+        // Non-BMP characters pass through as raw UTF-8 (valid JSON) — they
+        // must NOT be mangled into a lone \uXXXX, which would be an
+        // unpaired surrogate.
+        assert_eq!(escape("ok \u{1F600}"), "ok \u{1F600}");
+        // The last pre-control and first post-DEL characters stay raw.
+        assert_eq!(escape("\u{1f}\u{20}\u{7e}\u{80}"), "\\u001f\u{20}\u{7e}\u{80}");
+    }
+
+    #[test]
+    fn numbers_stay_valid_json_at_the_extremes() {
+        // Subnormals and huge values render in exponent notation, which is
+        // valid JSON; non-finite values must become null.
+        for v in [5e-324, f64::MIN_POSITIVE / 2.0, 1e308, -1e-308, 0.0, -0.0] {
+            let n = number(v);
+            let round: f64 = n.parse().expect("number() output parses back");
+            assert_eq!(round, v, "{n}");
+        }
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_droppings() {
+        let dir = std::env::temp_dir().join(format!("bscope-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let path_s = path.to_str().unwrap();
+        write_atomic(path_s, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        write_atomic(path_s, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "report.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

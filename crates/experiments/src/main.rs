@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--seed N] [--threads N] [--json PATH]
+//!             [--trace PATH] [--metrics]
 //!             [--bpu hybrid|tage|perceptron]
 //!             [--inject-fault NAME[:K]] <experiment>...
 //! experiments all            # everything, paper-scale (minutes)
@@ -21,6 +22,16 @@
 //! `--json PATH` writes a machine-readable report: per-experiment
 //! wall-clock seconds, status, the predictor backend the experiment ran
 //! on, and the headline metrics each experiment records.
+//!
+//! `--trace PATH` captures structured per-trial traces from the
+//! trial-parallel experiments and writes them as JSONL (one event per
+//! line, each stamped with experiment, trial index and per-trial sequence
+//! number; `trial_begin` lines carry the replay seed). Traces are
+//! deterministic: the same seed yields byte-identical output at any
+//! `--threads` value. `--metrics` aggregates the same event stream into
+//! per-experiment counters and latency histograms, adds them to the
+//! `--json` report as `trace/...` metrics, and prints a short summary.
+//! Both flags are observers — enabling them changes no experiment result.
 //!
 //! `--bpu hybrid|tage|perceptron` selects the direction-predictor
 //! substrate for the backend-aware experiments (`table2`, `capacity`,
@@ -193,7 +204,8 @@ const EXPERIMENTS: &[Experiment] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--quick] [--seed N] [--threads N] [--json PATH] \
-         [--bpu hybrid|tage|perceptron] [--inject-fault NAME[:K]] <experiment>|all ..."
+         [--trace PATH] [--metrics] [--bpu hybrid|tage|perceptron] \
+         [--inject-fault NAME[:K]] <experiment>|all ..."
     );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
@@ -282,6 +294,8 @@ fn main() {
     let mut scale = Scale::full();
     let mut selected: Vec<&Experiment> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut want_metrics = false;
     let mut fault: Option<(&'static str, FaultPlan)> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -294,6 +308,8 @@ fn main() {
                     parse_u64("--threads", flag_value(&args, &mut i, "--threads")) as usize;
             }
             "--json" => json_path = Some(flag_value(&args, &mut i, "--json").to_owned()),
+            "--trace" => trace_path = Some(flag_value(&args, &mut i, "--trace").to_owned()),
+            "--metrics" => want_metrics = true,
             "--bpu" => {
                 let value = flag_value(&args, &mut i, "--bpu");
                 scale.backend = value
@@ -332,6 +348,13 @@ fn main() {
     if selected.is_empty() {
         fail_usage("no experiments selected");
     }
+    scale.trace = trace_path.is_some() || want_metrics;
+    if scale.trace && !selected.iter().any(|e| e.trial_parallel) {
+        eprintln!(
+            "note: --trace/--metrics capture from trial-parallel experiments only; \
+             none is selected, so the trace will be empty"
+        );
+    }
     if let Some((target, _)) = fault {
         if !selected.iter().any(|e| e.name == target) {
             eprintln!("warning: --inject-fault target '{target}' is not among the selected experiments");
@@ -351,6 +374,9 @@ fn main() {
     }
 
     let mut report = json::Report::new(&scale);
+    // JSONL trace lines accumulate across experiments and are written
+    // atomically once at the end (a watcher never sees a partial file).
+    let mut trace_lines = String::new();
     for exp in &selected {
         println!("==============================================================");
         println!("{}: {}", exp.name, exp.desc);
@@ -368,6 +394,39 @@ fn main() {
         let started = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| (exp.run)(&scale_local)));
         let elapsed = started.elapsed();
+        // Drain this experiment's traces (empty unless --trace/--metrics).
+        // Aggregated metrics are recorded while the scope is still open so
+        // they land on this experiment's report entry.
+        let traces = common::drain_traces();
+        if !traces.is_empty() {
+            if want_metrics {
+                let mut agg = bscope_trace::MetricsRegistry::default();
+                for t in &traces {
+                    agg.merge(&t.metrics);
+                }
+                println!("trace metrics ({} trials):", traces.len());
+                for (k, v) in agg.summary() {
+                    println!("  {k:<28} {v}");
+                    common::metric(format!("trace/{k}"), v);
+                }
+            }
+            if trace_path.is_some() {
+                for t in &traces {
+                    trace_lines
+                        .push_str(&bscope_trace::jsonl::trial_begin_line(exp.name, t.trial_index, t.seed));
+                    for e in &t.events {
+                        trace_lines
+                            .push_str(&bscope_trace::jsonl::event_line(exp.name, t.trial_index, e));
+                    }
+                    trace_lines.push_str(&bscope_trace::jsonl::trial_end_line(
+                        exp.name,
+                        t.trial_index,
+                        t.events.len(),
+                        t.dropped,
+                    ));
+                }
+            }
+        }
         let metrics = scope.finish();
         let error = match outcome {
             Ok(Ok(())) => None,
@@ -393,6 +452,15 @@ fn main() {
     // `"status": "failed"` entries beats losing the completed experiments.
     if let Some(path) = json_path {
         match report.write_to(&path) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = trace_path {
+        match json::write_atomic(&path, &trace_lines) {
             Ok(()) => println!("[wrote {path}]"),
             Err(e) => {
                 eprintln!("error: failed to write {path}: {e}");

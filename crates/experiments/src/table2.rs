@@ -1,6 +1,6 @@
 //! Table 2: covert-channel error rates on three CPUs, isolated vs noisy.
 
-use crate::common::{metric, trials, Scale};
+use crate::common::{metric, trials, with_tracer, Scale};
 use bscope_bpu::{BackendKind, MicroarchProfile};
 use bscope_core::covert::CovertChannel;
 use bscope_core::{AttackConfig, BscopeError};
@@ -38,6 +38,7 @@ fn one_run(
     payload: Payload,
     bits: usize,
     seed: u64,
+    tracer: &mut bscope_uarch::Tracer,
 ) -> f64 {
     let mut sys = System::with_backend(profile.clone(), backend, seed)
         .with_noise(noise.clone())
@@ -48,7 +49,9 @@ fn one_run(
     let message = payload.bits(bits, &mut rng);
     let mut channel =
         CovertChannel::new(AttackConfig::for_backend(profile, backend)).expect("valid config");
-    channel.transmit(&mut sys, sender, receiver, &message).error_rate
+    with_tracer(&mut sys, tracer, |sys| {
+        channel.transmit(sys, sender, receiver, &message).error_rate
+    })
 }
 
 /// Computes the full table: six machine/noise rows of three payload error
@@ -75,9 +78,9 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<(String, [
         .flat_map(|m| (0..settings.len()).flat_map(move |s| (0..PAYLOADS.len()).map(move |p| (m, s, p))))
         .collect();
 
-    let per_trial = trials(scale, cells.len() * runs, 0x7AB2E2, |idx, seed| {
+    let per_trial = trials(scale, cells.len() * runs, 0x7AB2E2, |idx, seed, tracer| {
         let (m, s, p) = cells[idx / runs];
-        one_run(&machines[m], scale.backend, &settings[s].1, PAYLOADS[p], bits, seed)
+        one_run(&machines[m], scale.backend, &settings[s].1, PAYLOADS[p], bits, seed, tracer)
     });
 
     Ok(cells

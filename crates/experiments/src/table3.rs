@@ -1,6 +1,6 @@
 //! Table 3: covert channel with the trojan (sender) inside an SGX enclave.
 
-use crate::common::{metric, trials, Scale};
+use crate::common::{metric, trials, with_tracer, Scale};
 use bscope_bpu::MicroarchProfile;
 use bscope_core::covert::{CovertChannel, EnclaveSender};
 use bscope_core::{AttackConfig, BscopeError};
@@ -25,7 +25,13 @@ fn random(n: usize, rng: &mut StdRng) -> Vec<bool> {
 }
 
 /// One enclave transmission run; machine and secret derive from `seed`.
-fn one_run(noise: Option<&NoiseConfig>, payload: PayloadFn, bits: usize, seed: u64) -> f64 {
+fn one_run(
+    noise: Option<&NoiseConfig>,
+    payload: PayloadFn,
+    bits: usize,
+    seed: u64,
+    tracer: &mut bscope_uarch::Tracer,
+) -> f64 {
     let profile = MicroarchProfile::skylake();
     let mut sys = System::new(profile.clone(), seed);
     sys.set_noise(noise.cloned()).expect("noise config validated before fan-out");
@@ -37,8 +43,9 @@ fn one_run(noise: Option<&NoiseConfig>, payload: PayloadFn, bits: usize, seed: u
     // The attacker-controlled OS single-steps the enclave; in the
     // isolated setting it also prevents any other activity.
     let mut channel = CovertChannel::new(AttackConfig::for_profile(&profile)).expect("valid config");
-    let received =
-        channel.receive_from_enclave(&mut sys, &mut enclave, &controller, receiver, secret.len());
+    let received = with_tracer(&mut sys, tracer, |sys| {
+        channel.receive_from_enclave(sys, &mut enclave, &controller, receiver, secret.len())
+    });
     received.score(&secret).error_rate
 }
 
@@ -56,10 +63,10 @@ pub fn compute(scale: &Scale, bits: usize, runs: usize) -> Result<Vec<[f64; 3]>,
         noise.validate()?;
     }
 
-    let per_trial = trials(scale, cells * runs, 0x560, |idx, seed| {
+    let per_trial = trials(scale, cells * runs, 0x560, |idx, seed, tracer| {
         let cell = idx / runs;
         let noise = settings[cell / payloads.len()].as_ref();
-        one_run(noise, payloads[cell % payloads.len()], bits, seed)
+        one_run(noise, payloads[cell % payloads.len()], bits, seed, tracer)
     });
 
     Ok((0..settings.len())

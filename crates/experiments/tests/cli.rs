@@ -3,7 +3,7 @@
 //! isolation under injected faults, and the partial `--json` report.
 
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 fn experiments() -> Command {
     Command::new(env!("CARGO_BIN_EXE_experiments"))
@@ -27,6 +27,42 @@ fn scratch(name: &str) -> PathBuf {
     p.pop();
     p.push(name);
     p
+}
+
+/// Whether a real JSON parser is available to cross-check the hand-rolled
+/// emitters; the checks degrade to a skip note where the container lacks
+/// python3.
+fn python3_available() -> bool {
+    Command::new("python3")
+        .arg("--version")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+/// Pipes `payload` through a python3 one-liner that must accept it.
+fn assert_python_accepts(program: &str, payload: &str, what: &str) {
+    use std::io::Write as _;
+    if !python3_available() {
+        eprintln!("note: python3 unavailable, skipping real-parser check for {what}");
+        return;
+    }
+    let mut child = Command::new("python3")
+        .args(["-c", program])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("python3 spawns");
+    child.stdin.as_mut().unwrap().write_all(payload.as_bytes()).expect("payload piped");
+    let out = child.wait_with_output().expect("python3 exits");
+    assert!(
+        out.status.success(),
+        "{what} rejected by a real JSON parser: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 /// Cheap well-formedness check for the hand-rolled JSON.
@@ -218,6 +254,108 @@ fn injected_fault_isolates_the_experiment_and_writes_a_partial_report() {
     // split per entry and check metric keys stay with their experiment.
     let table1_entry = report.split("\"name\": \"table1\"").nth(1).expect("table1 entry");
     assert!(!table1_entry.contains("table2/"), "no metric leak across experiments: {report}");
+}
+
+#[test]
+fn json_report_survives_a_real_parser() {
+    let json = scratch("cli_parser_report.json");
+    let out = run(&["--quick", "--threads", "2", "--json", json.to_str().unwrap(), "table1", "fig2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let report = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    assert_balanced(&report);
+    // The hand-rolled emitter must satisfy an actual parser, not just our
+    // own balance heuristics.
+    assert_python_accepts("import json,sys; json.load(sys.stdin)", &report, "--json report");
+}
+
+#[test]
+fn trace_is_deterministic_and_thread_count_invariant() {
+    let capture = |name: &str, threads: &str| {
+        let path = scratch(name);
+        let out = experiments()
+            .args(["--quick", "--seed", "0xB5C09E01", "--threads", threads])
+            .args(["--trace", path.to_str().unwrap(), "fig4"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let s = std::fs::read_to_string(&path).expect("trace written");
+        std::fs::remove_file(&path).ok();
+        s
+    };
+    let a = capture("cli_trace_a.jsonl", "1");
+    let b = capture("cli_trace_b.jsonl", "1");
+    assert_eq!(a, b, "same-seed runs must produce byte-identical traces");
+    let c = capture("cli_trace_c.jsonl", "4");
+    assert_eq!(a, c, "traces must be identical for every thread count");
+
+    assert!(!a.is_empty(), "fig4 is trial-parallel, so the trace has events");
+    // The file is already in (trial, seq) order: a stable sort on that key
+    // must be the identity permutation.
+    let field = |line: &str, name: &str| -> Option<u64> {
+        line.split(&format!("\"{name}\":")).nth(1).map(|rest| {
+            rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+        })
+    };
+    let lines: Vec<&str> = a.lines().collect();
+    let keys: Vec<(u64, u64)> = lines
+        .iter()
+        .map(|l| {
+            // trial_begin/trial_end carry no seq: they bracket the trial's
+            // events, so they key below/above any event sequence number.
+            let seq = match field(l, "seq") {
+                Some(s) => s,
+                None if l.contains("\"type\":\"trial_begin\"") => 0,
+                None => u64::MAX,
+            };
+            (field(l, "trial").expect("every line is trial-stamped"), seq)
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort(); // stable
+    assert_eq!(keys, sorted, "trace lines arrive sorted by (trial, seq)");
+    // Every trial opened is closed, with an accurate retained-event count.
+    for line in &lines {
+        if line.contains("\"type\":\"trial_end\"") {
+            let trial = field(line, "trial").unwrap();
+            let events = field(line, "events").unwrap();
+            let observed = lines
+                .iter()
+                .filter(|l| l.contains("\"seq\":") && field(l, "trial") == Some(trial))
+                .count() as u64;
+            assert_eq!(events, observed, "trial {trial} event count");
+        }
+    }
+    // Each line is a complete JSON object by a real parser's standards.
+    assert_python_accepts(
+        "import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]",
+        &a,
+        "--trace JSONL",
+    );
+}
+
+#[test]
+fn metrics_flag_aggregates_traces_into_the_report() {
+    let json = scratch("cli_metrics_report.json");
+    let out = run(&[
+        "--quick",
+        "--threads",
+        "2",
+        "--metrics",
+        "--json",
+        json.to_str().unwrap(),
+        "fig4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("trace metrics"), "summary printed: {}", stdout(&out));
+    let report = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    assert_balanced(&report);
+    for key in
+        ["trace/branches", "trace/spans/randomize", "trace/branch_latency_p50", "trace/branch_latency_mean"]
+    {
+        assert!(report.contains(&format!("\"{key}\"")), "{key} in report:\n{report}");
+    }
 }
 
 #[test]

@@ -10,6 +10,7 @@ use bscope_bpu::{
     HybridPredictor, MicroarchProfile, Outcome, Prediction, PredictorBackend, PredictorKind,
     VirtAddr,
 };
+use bscope_trace::{Span, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,6 +55,8 @@ pub struct SimCore {
     noise: Option<NoiseParams>,
     policy: Box<dyn BpuPolicy>,
     fuzz: Option<MeasurementFuzz>,
+    /// Structured-event tracer; disabled (and free) by default.
+    tracer: Tracer,
 }
 
 /// Validated, `Copy` image of a [`NoiseConfig`], cached so the per-branch
@@ -103,6 +106,7 @@ impl SimCore {
             noise: None,
             policy: Box::new(NoPolicy),
             fuzz: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -152,6 +156,42 @@ impl SimCore {
     pub fn with_noise(mut self, noise: NoiseConfig) -> Result<Self, crate::ConfigError> {
         self.set_noise(Some(noise))?;
         Ok(self)
+    }
+
+    /// Installs a structured-event tracer (see [`bscope_trace`]). The
+    /// default tracer is disabled and costs one branch per emit site;
+    /// installing a sink-backed tracer records every retired branch, BTB
+    /// install, noise burst and attack-stage span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Removes and returns the tracer (leaving a disabled one), so a
+    /// caller that lent the core a live tracer can drain its capture.
+    #[must_use]
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Exclusive access to the tracer (emit sites outside the core, e.g.
+    /// attack-stage spans, go through this).
+    #[must_use]
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Emits a [`Span`] begin marker stamped with the current simulated
+    /// time. Free when the tracer is disabled.
+    pub fn trace_span_begin(&mut self, span: Span) {
+        let tsc = self.tsc;
+        self.tracer.emit_with(|| TraceEvent::SpanBegin { span, tsc });
+    }
+
+    /// Emits a [`Span`] end marker stamped with the current simulated
+    /// time. Free when the tracer is disabled.
+    pub fn trace_span_end(&mut self, span: Span) {
+        let tsc = self.tsc;
+        self.tracer.emit_with(|| TraceEvent::SpanEnd { span, tsc });
     }
 
     /// The microarchitecture profile of this core.
@@ -236,6 +276,9 @@ impl SimCore {
         target: Option<VirtAddr>,
     ) -> BranchEvent {
         let cold = !self.icache.touch(addr);
+        // Set when the BPU commit path ran for a taken branch (the only
+        // case that installs a BTB entry); feeds the trace event below.
+        let mut btb_install: Option<(VirtAddr, VirtAddr)> = None;
         let (prediction, mispredicted) = if self.policy.bypass_prediction(ctx, addr) {
             // §10.2 "removing prediction for sensitive branches": static
             // not-taken prediction, no BPU state touched.
@@ -257,6 +300,9 @@ impl SimCore {
                 (prediction, prediction.direction != outcome)
             } else {
                 let (prediction, correct) = self.bpu.execute(indexed, outcome, target);
+                if outcome.is_taken() {
+                    btb_install = Some((indexed, target.unwrap_or(indexed + 2)));
+                }
                 (prediction, !correct)
             }
         };
@@ -278,6 +324,21 @@ impl SimCore {
             self.counters.resize(slot + 1, PerfCounters::new());
         }
         self.counters[slot].record_branch(recorded_miss, latency);
+        if self.tracer.is_enabled() {
+            self.tracer.emit_with(|| TraceEvent::Branch {
+                ctx,
+                addr,
+                taken: outcome.is_taken(),
+                predicted_taken: prediction.direction.is_taken(),
+                mispredicted: recorded_miss,
+                two_level: prediction.used == PredictorKind::Gshare,
+                btb_hit: prediction.btb_hit,
+                latency,
+            });
+            if let Some((addr, target)) = btb_install {
+                self.tracer.emit_with(|| TraceEvent::BtbInstall { addr, target });
+            }
+        }
         BranchEvent { addr, outcome, prediction, mispredicted: recorded_miss, latency, cold }
     }
 
@@ -294,6 +355,10 @@ impl SimCore {
             let outcome = Outcome::from_bool(self.rng.gen_bool(cfg.taken_bias));
             let indexed = self.policy.index_addr(NOISE_CTX, addr);
             self.bpu.execute(indexed, outcome, None);
+        }
+        if n > 0 {
+            let injected = u32::try_from(n).unwrap_or(u32::MAX);
+            self.tracer.emit_with(|| TraceEvent::NoiseBurst { injected });
         }
         n
     }
@@ -351,6 +416,7 @@ fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
 mod tests {
     use super::*;
     use bscope_bpu::PhtState;
+    use bscope_trace::TracedEvent;
 
     fn core() -> SimCore {
         SimCore::new(MicroarchProfile::haswell(), 99)
@@ -445,6 +511,73 @@ mod tests {
         let ev = c.execute_branch(0x700, Outcome::NotTaken);
         assert!(ev.mispredicted);
         assert_eq!(c.counters(0).since(&before).branch_misses, 1);
+    }
+
+    /// Emitting trace events must not perturb simulation state: a traced
+    /// core and an untraced one produce bit-identical branch streams, and
+    /// the capture records what actually happened.
+    #[test]
+    fn tracing_is_an_observer_not_a_participant() {
+        let run = |traced: bool| {
+            let mut c = SimCore::new(MicroarchProfile::skylake(), 7)
+                .with_noise(NoiseConfig::system_activity())
+                .unwrap();
+            if traced {
+                c.set_tracer(Tracer::ring(4096));
+            }
+            c.trace_span_begin(Span::Prime);
+            let events: Vec<u64> = (0..300)
+                .map(|i| c.execute_branch(0x9000 + i * 3, Outcome::from_bool(i % 3 == 0)).latency)
+                .collect();
+            c.trace_span_end(Span::Prime);
+            (events, c.rdtscp(), c.take_tracer().drain())
+        };
+        let (lat_on, tsc_on, capture) = run(true);
+        let (lat_off, tsc_off, empty) = run(false);
+        assert_eq!(lat_on, lat_off, "tracing changed branch latencies");
+        assert_eq!(tsc_on, tsc_off, "tracing changed the clock");
+        assert!(empty.events.is_empty() && empty.metrics.is_empty());
+
+        assert_eq!(capture.metrics.counter("branches"), 300);
+        assert_eq!(capture.metrics.counter("spans/prime"), 1);
+        assert_eq!(capture.metrics.counter("btb_installs"), 100, "every third branch is taken");
+        assert!(capture.metrics.counter("noise_branches") > 0, "noise bursts are traced");
+        assert_eq!(capture.metrics.histogram("branch_latency").unwrap().count(), 300);
+        // Span markers carry the simulated clock, never wall-clock.
+        match (capture.events.first(), capture.events.last()) {
+            (
+                Some(TracedEvent { event: TraceEvent::SpanBegin { span: Span::Prime, tsc: t0 }, .. }),
+                Some(TracedEvent { event: TraceEvent::SpanEnd { span: Span::Prime, tsc: t1 }, .. }),
+            ) => assert!(t1 > t0 && *t1 == tsc_on, "span stamps follow the sim clock"),
+            other => panic!("span markers must bracket the capture, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_branch_events_describe_the_prediction() {
+        let mut c = core();
+        c.set_tracer(Tracer::ring(64));
+        for _ in 0..3 {
+            c.execute_branch(0x700, Outcome::Taken);
+        }
+        let ev = c.execute_branch(0x700, Outcome::NotTaken);
+        assert!(ev.mispredicted);
+        let capture = c.take_tracer().drain();
+        let branches: Vec<&TracedEvent> = capture
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Branch { .. }))
+            .collect();
+        assert_eq!(branches.len(), 4);
+        match branches[3].event {
+            TraceEvent::Branch { taken, predicted_taken, mispredicted, latency, .. } => {
+                assert!(!taken && predicted_taken && mispredicted);
+                assert_eq!(latency, ev.latency);
+            }
+            _ => unreachable!(),
+        }
+        // The three taken branches each installed their BTB entry.
+        assert_eq!(capture.metrics.counter("btb_installs"), 3);
     }
 
     #[test]

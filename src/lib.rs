@@ -14,7 +14,9 @@
 //! * [`mitigations`] — §10 defenses and their evaluation,
 //! * [`baselines`] — prior BTB-based attacks,
 //! * [`isa`] — a tiny instruction set + interpreter so programs with
-//!   byte-accurate branch layout can run on the simulated machine.
+//!   byte-accurate branch layout can run on the simulated machine,
+//! * [`trace`] — structured event tracing and metrics (ring-buffer sinks,
+//!   counters/histograms, JSONL rendering) with a zero-cost disabled path.
 //!
 //! # Quickstart
 //!
@@ -35,5 +37,6 @@ pub use bscope_bpu as bpu;
 pub use bscope_core as attack;
 pub use bscope_mitigations as mitigations;
 pub use bscope_os as os;
+pub use bscope_trace as trace;
 pub use bscope_uarch as uarch;
 pub use bscope_victims as victims;
